@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race bench figures casestudies verify
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench . -benchmem ./...
+
+# Regenerate the paper's figures (text tables on stdout, CSV alongside).
+figures:
+	go run ./cmd/gcbench -fig all -csv figures.csv
+
+# Run the four qualitative case studies of Section 3.2.
+casestudies:
+	go run ./cmd/leakcheck jbb
+	go run ./cmd/leakcheck db
+	go run ./cmd/leakcheck lusearch
+	go run ./cmd/leakcheck swapleak
+
+verify: build test race

@@ -1,0 +1,60 @@
+// Command calibrate measures each benchmark's live-heap size and
+// allocation rate, for sizing the fixed heaps the harness runs with (the
+// paper's methodology: two times the minimum live size).
+//
+//	calibrate            report every suite workload
+//	calibrate bloat pmd  report specific workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	iters := flag.Int("iters", 3, "iterations to run before measuring")
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = workloads.Names()
+	}
+
+	fmt.Printf("%-12s %12s %14s %12s %12s\n",
+		"workload", "live(words)", "alloc/iter", "declared", "declared/live")
+	for _, name := range names {
+		f := workloads.ByName(name)
+		if f == nil {
+			fmt.Fprintf(os.Stderr, "calibrate: unknown workload %q\n", name)
+			os.Exit(2)
+		}
+		w := f()
+		rt := core.New(core.Config{HeapWords: 1 << 22, Mode: core.Base})
+		th := rt.MainThread()
+		w.Setup(rt, th)
+		if err := rt.GC(); err != nil {
+			panic(err)
+		}
+		setupLive := rt.Stats().Heap.LiveWords
+		before := rt.Stats().Heap.TotalWords
+		for i := 0; i < *iters; i++ {
+			w.Iterate(rt, th)
+		}
+		if err := rt.GC(); err != nil {
+			panic(err)
+		}
+		st := rt.Stats()
+		live := st.Heap.LiveWords
+		if setupLive > live {
+			live = setupLive
+		}
+		perIter := (st.Heap.TotalWords - before) / uint64(*iters)
+		ratio := float64(w.HeapWords()) / float64(max(live, 1))
+		fmt.Printf("%-12s %12d %14d %12d %12.2f\n",
+			name, live, perIter, w.HeapWords(), ratio)
+	}
+}

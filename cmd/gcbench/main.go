@@ -1,0 +1,80 @@
+// Command gcbench regenerates the paper's performance figures:
+//
+//	gcbench -fig 2     Base vs Infrastructure total/mutator time (Figure 2)
+//	gcbench -fig 3     Base vs Infrastructure GC time (Figure 3)
+//	gcbench -fig 4     Base/Infrastructure/WithAssertions total time (Figure 4)
+//	gcbench -fig 5     Base/Infrastructure/WithAssertions GC time (Figure 5)
+//	gcbench -fig all   everything
+//
+// Methodology follows the paper: fixed heaps at roughly twice each
+// benchmark's minimum live size, warmup iterations discarded, repeated
+// trials with 90% confidence intervals. Absolute times are host-dependent;
+// the normalized columns are the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5 or all")
+	trials := flag.Int("trials", harness.DefaultRunConfig.Trials, "trials per configuration")
+	measure := flag.Int("measure", harness.DefaultRunConfig.Measure, "timed iterations per trial")
+	warmup := flag.Int("warmup", harness.DefaultRunConfig.Warmup, "warmup iterations per trial")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	csvPath := flag.String("csv", "", "also write raw measurements to this CSV file")
+	flag.Parse()
+
+	rc := harness.RunConfig{Warmup: *warmup, Measure: *measure, Trials: *trials}
+	progress := func(name string) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "measuring %s...\n", name)
+		}
+	}
+
+	need23 := *fig == "2" || *fig == "3" || *fig == "all"
+	need45 := *fig == "4" || *fig == "5" || *fig == "all"
+	if !need23 && !need45 {
+		fmt.Fprintf(os.Stderr, "gcbench: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+
+	var allRows []harness.Row
+	if need23 {
+		rows := harness.RunFig23(rc, progress)
+		allRows = append(allRows, rows...)
+		if *fig == "2" || *fig == "all" {
+			fmt.Println(harness.FormatFig2(rows))
+		}
+		if *fig == "3" || *fig == "all" {
+			fmt.Println(harness.FormatFig3(rows))
+		}
+	}
+	if need45 {
+		rows := harness.RunFig45(rc, progress)
+		allRows = append(allRows, rows...)
+		if *fig == "4" || *fig == "all" {
+			fmt.Println(harness.FormatFig4(rows))
+		}
+		if *fig == "5" || *fig == "all" {
+			fmt.Println(harness.FormatFig5(rows))
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := harness.WriteCSV(f, allRows); err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+}

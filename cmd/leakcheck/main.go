@@ -1,0 +1,177 @@
+// Command leakcheck runs the paper's qualitative case studies (Section
+// 3.2) with GC assertions enabled and prints the violation reports,
+// including the full heap paths of Figure 1:
+//
+//	leakcheck jbb        SPEC JBB2000: the lastOrder leak, the orderTable
+//	                     leak, and the oldCompany drag
+//	leakcheck db         _209_db with ownership assertions and an injected
+//	                     cache leak
+//	leakcheck lusearch   32 live IndexSearchers where 1 is recommended
+//	leakcheck swapleak   the hidden inner-class reference
+//
+// Pass -fixed to run the repaired variant of each program (no violations
+// expected).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/heapdot"
+	"repro/internal/jbb"
+	"repro/internal/lusearch"
+	"repro/internal/minidb"
+	"repro/internal/report"
+	"repro/internal/swapleak"
+)
+
+var (
+	fixed     = flag.Bool("fixed", false, "run the repaired variant")
+	heapWords = flag.Int("heap", 1<<20, "heap size in 64-bit words")
+	dotFile   = flag.String("dot", "", "write a Graphviz graph of the first violation to this file")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: leakcheck [-fixed] jbb|db|lusearch|swapleak")
+		os.Exit(2)
+	}
+
+	study := flag.Arg(0)
+	switch study {
+	case "jbb":
+		runJBB()
+	case "db":
+		runDB()
+	case "lusearch":
+		runLusearch()
+	case "swapleak":
+		runSwapleak()
+	default:
+		fmt.Fprintf(os.Stderr, "leakcheck: unknown case study %q\n", study)
+		os.Exit(2)
+	}
+}
+
+// newRuntime builds a fresh Infrastructure runtime logging violations to
+// stdout.
+func newRuntime() *core.Runtime {
+	return core.New(core.Config{
+		HeapWords: *heapWords,
+		Mode:      core.Infrastructure,
+		Handler:   &report.Logger{W: os.Stdout},
+	})
+}
+
+// summary prints the assertion counters of one scenario and honours -dot.
+func summary(rt *core.Runtime) {
+	if *dotFile != "" {
+		if vs := rt.Violations(); len(vs) > 0 {
+			f, err := os.Create(*dotFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
+				os.Exit(1)
+			}
+			if err := heapdot.WriteViolation(f, rt, vs[0], heapdot.Options{}); err == nil {
+				fmt.Printf("wrote %s (first violation's heap neighbourhood)\n", *dotFile)
+			}
+			f.Close()
+			*dotFile = "" // once per invocation
+		}
+	}
+	st := rt.Stats()
+	fmt.Printf("collections: %d   violations: %d\n", st.GC.Collections, st.Asserts.Violations)
+	fmt.Printf("assert-dead calls: %d   assert-ownedby calls: %d   ownees checked: %d\n",
+		st.Asserts.DeadAsserts, st.Asserts.OwnedByAsserts, st.GC.Trace.OwneesChecked)
+	if st.Asserts.Violations == 0 {
+		fmt.Println("no assertion violations.")
+	}
+	fmt.Println()
+}
+
+func banner(s string) { fmt.Printf("=== %s ===\n", s) }
+
+// runJBB reproduces Section 3.2.1 as three scenarios, mirroring the
+// paper's narrative.
+func runJBB() {
+	banner("scenario 1: assert-dead on Order.destroy (Figure 1 paths)")
+	rt := newRuntime()
+	b := jbb.New(rt, jbb.Config{
+		LeakOrderTable:      !*fixed,
+		ClearLastOrder:      *fixed,
+		AssertDeadOnDestroy: true,
+	})
+	b.RunTransactions(300)
+	check(rt.GC())
+	summary(rt)
+
+	banner("scenario 2: assert-ownedby(orderTable, order) at District.addOrder")
+	rt = newRuntime()
+	b = jbb.New(rt, jbb.Config{
+		ClearLastOrder:     *fixed,
+		AssertOwnedByOnAdd: true,
+	})
+	b.RunTransactions(300)
+	check(rt.GC())
+	summary(rt)
+
+	banner("scenario 3: assert-instances(Company, 1) across the main loop")
+	rt = newRuntime()
+	b = jbb.New(rt, jbb.Config{
+		ClearLastOrder:         true,
+		ClearOldCompany:        *fixed,
+		AssertCompanySingleton: true,
+	})
+	b.RunTransactions(100)
+	b.ReplaceCompany()
+	check(rt.GC())
+	summary(rt)
+}
+
+func runDB() {
+	banner("_209_db: Entries owned by Database, assert-dead at remove sites")
+	rt := newRuntime()
+	d := minidb.New(rt, minidb.Config{
+		Entries:            5000,
+		AssertOwnership:    true,
+		AssertDeadOnRemove: true,
+		LeakCache:          !*fixed,
+	})
+	d.RunOps(300)
+	check(rt.GC())
+	summary(rt)
+}
+
+func runLusearch() {
+	banner("lusearch: assert-instances(IndexSearcher, 1)")
+	rt := newRuntime()
+	e := lusearch.New(rt, lusearch.Config{
+		SharedSearcher:       *fixed,
+		AssertSingleSearcher: true,
+	})
+	e.Run(200, func() { check(rt.GC()) })
+	summary(rt)
+}
+
+func runSwapleak() {
+	banner("SwapLeak: assert-dead after swap")
+	rt := newRuntime()
+	p := swapleak.New(rt, swapleak.Config{
+		Objects:             16,
+		StaticRep:           *fixed,
+		AssertDeadAfterSwap: true,
+	})
+	p.RunSwapLoop()
+	check(rt.GC())
+	summary(rt)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro is a Go reproduction of "GC Assertions: Using the Garbage
+// Collector to Check Heap Properties" (Aftandilian and Guyer, PLDI 2009).
+//
+// The public API lives in internal/core: a managed heap runtime whose
+// tracing collector checks programmer-written assertions (assert-dead,
+// regions, assert-instances, assert-unshared, assert-ownedby) during its
+// normal trace. See README.md for a tour, DESIGN.md for the system map,
+// and EXPERIMENTS.md for the paper-versus-measured results.
+//
+// The benchmarks in bench_test.go regenerate the paper's figures:
+// Figures 2/3 (infrastructure overhead across the benchmark suite) and
+// Figures 4/5 (overhead with thousands of assertions installed), plus
+// ablations of the design decisions called out in DESIGN.md.
+package repro

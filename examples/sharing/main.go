@@ -1,0 +1,74 @@
+// Sharing: verifying structural invariants with assert-unshared (Section
+// 2.5.1 of the paper).
+//
+// A binary tree must stay a tree: every node has at most one parent. A
+// refactored "optimization" starts reusing subtrees, silently turning the
+// tree into a DAG — which breaks the mutation logic elsewhere. Asserting
+// each node unshared catches the first shared node at the next collection.
+//
+//	go run ./examples/sharing
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	rt := core.New(core.Config{
+		HeapWords: 1 << 16,
+		Mode:      core.Infrastructure,
+		Handler:   &report.Logger{W: os.Stdout},
+	})
+	th := rt.MainThread()
+
+	node := rt.DefineClass("TreeNode",
+		core.RefField("left"), core.RefField("right"), core.DataField("key"))
+	left := node.MustFieldIndex("left")
+	right := node.MustFieldIndex("right")
+	key := node.MustFieldIndex("key")
+
+	// Build a proper tree of depth 3, asserting every node unshared.
+	var build func(depth int, k int64) core.Ref
+	build = func(depth int, k int64) core.Ref {
+		f := th.PushFrame(2)
+		defer th.PopFrame()
+		n := th.New(node)
+		f.SetLocal(0, n)
+		rt.SetInt(n, key, k)
+		if err := rt.AssertUnshared(n); err != nil {
+			panic(err)
+		}
+		if depth > 0 {
+			l := build(depth-1, 2*k)
+			f.SetLocal(1, l)
+			rt.SetRef(f.Local(0), left, f.Local(1))
+			r := build(depth-1, 2*k+1)
+			f.SetLocal(1, r)
+			rt.SetRef(f.Local(0), right, f.Local(1))
+		}
+		return f.Local(0)
+	}
+
+	root := build(3, 1)
+	rt.AddGlobal("tree").Set(root)
+
+	fmt.Println("collecting while the structure is a genuine tree...")
+	if err := rt.GC(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("violations so far: %d\n\n", len(rt.Violations()))
+
+	// The "optimization": share a subtree between two parents.
+	fmt.Println("sharing a subtree (tree becomes a DAG)...")
+	shared := rt.GetRef(rt.GetRef(root, left), right)
+	rt.SetRef(rt.GetRef(root, right), left, shared)
+
+	if err := rt.GC(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("violations after sharing: %d\n", len(rt.Violations()))
+}

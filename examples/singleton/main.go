@@ -1,0 +1,63 @@
+// Singleton: enforcing instance budgets with assert-instances, like the
+// paper's lusearch case study (Section 3.2.2).
+//
+// A library's documentation says "open one SearchService and share it".
+// The library itself installs assert-instances(SearchService, 1), so any
+// program that opens a service per worker gets a warning at the next
+// collection — exactly the diagnostic the paper proposes Lucene could ship.
+//
+//	go run ./examples/singleton
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	rt := core.New(core.Config{
+		HeapWords: 1 << 16,
+		Mode:      core.Infrastructure,
+		Handler:   &report.Logger{W: os.Stdout},
+	})
+	th := rt.MainThread()
+
+	service := rt.DefineClass("SearchService", core.DataField("opened"))
+
+	// The library's self-check: at most one live SearchService.
+	if err := rt.AssertInstances(service, 1); err != nil {
+		panic(err)
+	}
+
+	// A misinformed application opens one service per worker.
+	const workers = 8
+	fmt.Printf("opening %d per-worker services...\n", workers)
+	pool := th.NewRefArray(workers)
+	rt.AddGlobal("workers").Set(pool)
+	for i := 0; i < workers; i++ {
+		rt.ArrSetRef(pool, i, th.New(service))
+	}
+	if err := rt.GC(); err != nil {
+		panic(err)
+	}
+
+	// The fix: one shared service.
+	fmt.Println("switching to a single shared service...")
+	shared := th.New(service)
+	for i := 0; i < workers; i++ {
+		rt.ArrSetRef(pool, i, shared)
+	}
+	if err := rt.GC(); err != nil {
+		panic(err)
+	}
+
+	vs := rt.Violations()
+	fmt.Printf("violations: %d (expected 1, from the per-worker phase)\n", len(vs))
+	for _, v := range vs {
+		fmt.Printf("  %d live %s (limit %d) at GC cycle %d\n",
+			v.Count, v.Class, v.Limit, v.Cycle)
+	}
+}

@@ -1,0 +1,254 @@
+package assertions
+
+import (
+	"repro/internal/classes"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/vmheap"
+)
+
+// This file contains the collector-facing side of the engine: the hooks
+// wired into the trace loops and the begin/end-of-cycle table maintenance.
+
+// BeginCycle prepares the engine for a collection: per-cycle report
+// deduplication is reset and the cycle counter advances.
+func (e *Engine) BeginCycle() {
+	e.cycle++
+	e.reportedDead = nil
+	e.reportedShared = nil
+	e.reportedImproper = nil
+	e.halt = nil
+}
+
+// Halted returns the violation for which the handler requested Halt during
+// the current cycle, or nil.
+func (e *Engine) Halted() *report.Violation { return e.halt }
+
+// Checks returns the assertion callouts for the Infrastructure trace loop.
+func (e *Engine) Checks() trace.Checks {
+	return trace.Checks{
+		Dead:    e.onDead,
+		Shared:  e.onShared,
+		Unowned: e.onUnowned,
+	}
+}
+
+// OwnershipPhase returns the phase descriptor for the collector, or nil when
+// no ownership assertions are registered.
+func (e *Engine) OwnershipPhase() *trace.OwnershipPhase {
+	if !e.HasOwnership() {
+		return nil
+	}
+	return &trace.OwnershipPhase{
+		Owners:   e.owners,
+		OwnerOf:  e.ownerOf,
+		IsOwner:  func(r vmheap.Ref) bool { return e.heap.Flags(r, vmheap.FlagOwner) != 0 },
+		Improper: e.onImproper,
+	}
+}
+
+// pathElems resolves a raw reference path into class-named elements.
+func (e *Engine) pathElems(path []vmheap.Ref) []report.PathElem {
+	out := make([]report.PathElem, len(path))
+	for i, r := range path {
+		out[i] = report.PathElem{Class: e.reg.Name(e.heap.ClassID(r)), Ref: r}
+	}
+	return out
+}
+
+// dispatch routes a violation to the handler and folds the returned action:
+// Halt is recorded for the collector to surface after the cycle completes
+// (the heap must reach a consistent state first), and the effective action
+// for the tracer is returned.
+func (e *Engine) dispatch(v *report.Violation) report.Action {
+	e.stats.Violations++
+	act := report.Continue
+	if e.handler != nil {
+		act = e.handler.HandleViolation(v)
+	}
+	if act == report.Halt {
+		if e.halt == nil {
+			e.halt = v
+		}
+		return report.Continue
+	}
+	return act
+}
+
+// onDead handles an encounter of a dead-asserted object during tracing. The
+// handler runs once per object per cycle; its action is cached so Force is
+// applied uniformly to every incoming reference.
+func (e *Engine) onDead(obj vmheap.Ref, path func() []vmheap.Ref) report.Action {
+	if act, seen := e.reportedDead[obj]; seen {
+		return act
+	}
+	kind := report.DeadReachable
+	if e.regionObjs[obj] {
+		kind = report.RegionSurvivor
+	}
+	v := &report.Violation{
+		Kind:   kind,
+		Cycle:  e.cycle,
+		Object: obj,
+		Class:  e.reg.Name(e.heap.ClassID(obj)),
+		Path:   e.pathElems(path()),
+	}
+	act := e.dispatch(v)
+	if e.reportedDead == nil {
+		e.reportedDead = make(map[vmheap.Ref]report.Action)
+	}
+	e.reportedDead[obj] = act
+	return act
+}
+
+// onShared handles the second encounter of an unshared-asserted object.
+func (e *Engine) onShared(obj vmheap.Ref, path func() []vmheap.Ref) {
+	if e.reportedShared[obj] {
+		return
+	}
+	if e.reportedShared == nil {
+		e.reportedShared = make(map[vmheap.Ref]bool)
+	}
+	e.reportedShared[obj] = true
+	e.dispatch(&report.Violation{
+		Kind:   report.SharedObject,
+		Cycle:  e.cycle,
+		Object: obj,
+		Class:  e.reg.Name(e.heap.ClassID(obj)),
+		Path:   e.pathElems(path()),
+	})
+}
+
+// onUnowned handles a root-phase visit of an ownee without the owned bit.
+func (e *Engine) onUnowned(obj vmheap.Ref, path func() []vmheap.Ref) {
+	if e.reportedImproper[obj] {
+		// Already reported as improper use during the ownership phase;
+		// a second warning for the same object would be noise.
+		return
+	}
+	ownerName := "unknown owner"
+	if idx, ok := e.ownerOf(obj); ok {
+		if o := e.owners[idx]; o != vmheap.Nil {
+			ownerName = e.reg.Name(e.heap.ClassID(o))
+		}
+	}
+	e.dispatch(&report.Violation{
+		Kind:   report.UnownedOwnee,
+		Cycle:  e.cycle,
+		Object: obj,
+		Class:  e.reg.Name(e.heap.ClassID(obj)),
+		Path:   e.pathElems(path()),
+		Owner:  ownerName,
+	})
+}
+
+// onImproper handles an ownee reached from a different owner's scan.
+func (e *Engine) onImproper(obj vmheap.Ref, scanningOwner int, path func() []vmheap.Ref) {
+	if e.reportedImproper[obj] {
+		return
+	}
+	if e.reportedImproper == nil {
+		e.reportedImproper = make(map[vmheap.Ref]bool)
+	}
+	e.reportedImproper[obj] = true
+	owner := "unknown owner"
+	if o := e.owners[scanningOwner]; o != vmheap.Nil {
+		owner = e.reg.Name(e.heap.ClassID(o))
+	}
+	e.dispatch(&report.Violation{
+		Kind:   report.ImproperOwnership,
+		Cycle:  e.cycle,
+		Object: obj,
+		Class:  e.reg.Name(e.heap.ClassID(obj)),
+		Path:   e.pathElems(path()),
+		Owner:  owner,
+	})
+}
+
+// CheckInstanceLimits runs at the end of the mark phase: tracked classes
+// whose live counts exceed their limits are reported. No path is available
+// (the paper's Section 2.7 limitation for assert-instances).
+func (e *Engine) CheckInstanceLimits() {
+	for _, over := range e.reg.CheckLimits() {
+		e.dispatch(&report.Violation{
+			Kind:  report.TooManyInstances,
+			Cycle: e.cycle,
+			Class: over.Class.Name,
+			Count: over.Count,
+			Limit: over.Limit,
+		})
+	}
+}
+
+// PreSweep runs after the mark phase and before the sweep, while unmarked
+// objects are still parseable. It purges every engine table of entries
+// about to be reclaimed, so no table ever holds a reference into freed (and
+// reusable) memory:
+//
+//   - region queues drop dying entries (those objects were born and died
+//     inside the region — the assertion holds for them);
+//   - dying ownees leave the ownee table (the paper: "we must remove each
+//     unreachable ownee after a GC");
+//   - dying owners vacate their slot, and their surviving ownees' pairs are
+//     dropped (ownership of a collected owner is no longer checkable).
+//
+// The live predicate tells the engine which objects survive the imminent
+// sweep: for a full collection that is the mark bit; for a generational
+// minor collection, mark bit or maturity.
+func (e *Engine) PreSweep(live func(vmheap.Ref) bool) {
+	marked := live
+
+	for _, t := range e.threads.All() {
+		t.PurgeRegionQueues(marked)
+	}
+
+	if len(e.regionObjs) > 0 {
+		for r := range e.regionObjs {
+			if !marked(r) {
+				delete(e.regionObjs, r)
+			}
+		}
+	}
+
+	if len(e.ownees) == 0 && len(e.owners) == 0 {
+		return
+	}
+
+	// Vacate dying owners first so their ownees can be dropped in the
+	// same pass.
+	deadOwner := make([]bool, len(e.owners))
+	for i, o := range e.owners {
+		if o == vmheap.Nil {
+			continue
+		}
+		if !marked(o) {
+			deadOwner[i] = true
+			delete(e.ownerIndex, o)
+			// The object is about to be freed; its header dies with it,
+			// so there is no bit to clear.
+			e.owners[i] = vmheap.Nil
+		}
+	}
+
+	kept := e.ownees[:0]
+	for _, entry := range e.ownees {
+		switch {
+		case !marked(entry.obj):
+			// Dying ownee: drop the pair; the header dies with it.
+		case deadOwner[entry.owner]:
+			// Surviving ownee of a dead owner: drop the pair and clear
+			// the stale ownee bit so the next trace does not misreport.
+			e.heap.ClearFlags(entry.obj, vmheap.FlagOwnee|vmheap.FlagOwned)
+		default:
+			kept = append(kept, entry)
+		}
+	}
+	e.ownees = kept
+}
+
+// SweepFlags returns the header bits the sweep must clear on survivors:
+// the owned bit is recomputed by each cycle's ownership phase.
+func (e *Engine) SweepFlags() uint64 { return vmheap.FlagOwned }
+
+// InstanceLimitFor exposes a class's current limit (tools and tests).
+func (e *Engine) InstanceLimitFor(c *classes.Class) int64 { return c.InstanceLimit() }

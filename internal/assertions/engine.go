@@ -1,0 +1,246 @@
+// Package assertions implements the GC-assertion engine: the bookkeeping
+// behind the five assertions of the paper (assert-dead, start-region /
+// assert-alldead, assert-instances, assert-unshared, assert-ownedby), the
+// violation construction with full heap paths, and the table maintenance
+// the collector performs around each cycle.
+//
+// The engine's state mirrors the paper's metadata budget: lifetime and
+// sharing assertions live entirely in spare object-header bits; instance
+// limits live in two words on the class; ownership lives in a sorted
+// owner/ownee table searched with binary search.
+package assertions
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/classes"
+	"repro/internal/report"
+	"repro/internal/threads"
+	"repro/internal/vmheap"
+)
+
+// Stats counts assertion activity over the lifetime of a runtime.
+type Stats struct {
+	DeadAsserts     uint64 // assert-dead calls (including region-driven ones)
+	UnsharedAsserts uint64
+	OwnedByAsserts  uint64
+	InstanceAsserts uint64
+	RegionsStarted  uint64
+	RegionsEnded    uint64
+	Violations      uint64
+	// OwneesLive is the current ownee-table size.
+	OwneesLive int
+}
+
+// owneeEntry associates one ownee object with the index of its owner in the
+// owners slice. The ownees slice is kept sorted by Ref for binary search,
+// as in the paper.
+type owneeEntry struct {
+	obj   vmheap.Ref
+	owner int32
+}
+
+// Engine holds all assertion state for one runtime.
+type Engine struct {
+	heap    *vmheap.Heap
+	reg     *classes.Registry
+	threads *threads.Set
+	handler report.Handler
+
+	cycle uint64
+
+	// regionObjs records which dead-asserted objects came from an
+	// assert-alldead bracket, so their violations carry the
+	// RegionSurvivor kind. Entries are purged when objects are freed.
+	regionObjs map[vmheap.Ref]bool
+
+	// Per-cycle report deduplication. reportedDead caches the handler's
+	// action so the Force decision is applied consistently to every
+	// incoming reference of the same object.
+	reportedDead     map[vmheap.Ref]report.Action
+	reportedShared   map[vmheap.Ref]bool
+	reportedImproper map[vmheap.Ref]bool
+
+	// Ownership tables. owners may contain Nil holes after an owner is
+	// collected; ownerIndex maps live owner objects to their slot.
+	owners     []vmheap.Ref
+	ownerIndex map[vmheap.Ref]int
+	ownees     []owneeEntry // sorted by obj
+
+	halt *report.Violation
+
+	stats Stats
+}
+
+// New creates an engine bound to the given heap, registry, thread set and
+// violation handler.
+func New(h *vmheap.Heap, reg *classes.Registry, ts *threads.Set, handler report.Handler) *Engine {
+	return &Engine{
+		heap:       h,
+		reg:        reg,
+		threads:    ts,
+		handler:    handler,
+		regionObjs: make(map[vmheap.Ref]bool),
+		ownerIndex: make(map[vmheap.Ref]int),
+	}
+}
+
+// SetHandler replaces the violation handler.
+func (e *Engine) SetHandler(h report.Handler) { e.handler = h }
+
+// Stats returns a snapshot of assertion activity.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.OwneesLive = len(e.ownees)
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Assertion entry points (called by the runtime on behalf of the mutator)
+
+// errNotObject is wrapped by assertion entry points handed a bad reference.
+var errNotObject = errors.New("reference does not point to an allocated object")
+
+func (e *Engine) checkObject(r vmheap.Ref, what string) error {
+	if !e.heap.IsObject(r) {
+		return fmt.Errorf("assertions: %s: %w", what, errNotObject)
+	}
+	return nil
+}
+
+// AssertDead implements assert-dead(p): the object is marked with the dead
+// header bit and reported if still reachable at the next collection.
+func (e *Engine) AssertDead(r vmheap.Ref) error {
+	if err := e.checkObject(r, "assert-dead"); err != nil {
+		return err
+	}
+	e.heap.SetFlags(r, vmheap.FlagDead)
+	e.stats.DeadAsserts++
+	return nil
+}
+
+// AssertUnshared implements assert-unshared(p): the object is marked with
+// the unshared header bit and reported if the trace encounters it twice.
+func (e *Engine) AssertUnshared(r vmheap.Ref) error {
+	if err := e.checkObject(r, "assert-unshared"); err != nil {
+		return err
+	}
+	e.heap.SetFlags(r, vmheap.FlagUnshared)
+	e.stats.UnsharedAsserts++
+	return nil
+}
+
+// AssertInstances implements assert-instances(T, I).
+func (e *Engine) AssertInstances(c *classes.Class, limit int64, includeSubclasses bool) error {
+	if limit < 0 {
+		return fmt.Errorf("assertions: assert-instances: negative limit %d", limit)
+	}
+	e.reg.SetInstanceLimit(c, limit, includeSubclasses)
+	e.stats.InstanceAsserts++
+	return nil
+}
+
+// StartRegion implements start-region() on the given thread.
+func (e *Engine) StartRegion(t *threads.Thread) {
+	t.StartRegion()
+	e.stats.RegionsStarted++
+}
+
+// AssertAllDead implements assert-alldead(): every object allocated in the
+// innermost region bracket is asserted dead (the paper implements it by
+// "calling assert-dead on each object in the queue"). Objects recorded in
+// the queue that died during an intervening GC were purged by the collector
+// and are correctly absent.
+func (e *Engine) AssertAllDead(t *threads.Thread) error {
+	queue, err := t.EndRegion()
+	if err != nil {
+		return err
+	}
+	e.stats.RegionsEnded++
+	for _, r := range queue {
+		if !e.heap.IsObject(r) {
+			continue
+		}
+		e.heap.SetFlags(r, vmheap.FlagDead)
+		e.regionObjs[r] = true
+		e.stats.DeadAsserts++
+	}
+	return nil
+}
+
+// AssertOwnedBy implements assert-ownedby(p, q): the ownee q must remain
+// reachable through the owner p for as long as it is reachable at all.
+// The paper requires owner regions to be disjoint; the engine rejects
+// configurations that structurally violate that (an object serving as both
+// owner and ownee, or an ownee with two different owners).
+func (e *Engine) AssertOwnedBy(owner, ownee vmheap.Ref) error {
+	if err := e.checkObject(owner, "assert-ownedby owner"); err != nil {
+		return err
+	}
+	if err := e.checkObject(ownee, "assert-ownedby ownee"); err != nil {
+		return err
+	}
+	if owner == ownee {
+		return errors.New("assertions: assert-ownedby: object cannot own itself")
+	}
+	if e.heap.Flags(owner, vmheap.FlagOwnee) != 0 {
+		return errors.New("assertions: assert-ownedby: owner is already an ownee of another owner")
+	}
+	if e.heap.Flags(ownee, vmheap.FlagOwner) != 0 {
+		return errors.New("assertions: assert-ownedby: ownee is already an owner")
+	}
+
+	idx, known := e.ownerIndex[owner]
+	if !known {
+		idx = len(e.owners)
+		e.owners = append(e.owners, owner)
+		e.ownerIndex[owner] = idx
+		e.heap.SetFlags(owner, vmheap.FlagOwner)
+	}
+
+	// Sorted insert into the ownee table (the paper's sorted arrays).
+	i := sort.Search(len(e.ownees), func(i int) bool { return e.ownees[i].obj >= ownee })
+	if i < len(e.ownees) && e.ownees[i].obj == ownee {
+		if e.ownees[i].owner == int32(idx) {
+			return nil // duplicate assertion: no-op
+		}
+		return errors.New("assertions: assert-ownedby: ownee already has a different owner")
+	}
+	e.ownees = append(e.ownees, owneeEntry{})
+	copy(e.ownees[i+1:], e.ownees[i:])
+	e.ownees[i] = owneeEntry{obj: ownee, owner: int32(idx)}
+	e.heap.SetFlags(ownee, vmheap.FlagOwnee)
+	e.stats.OwnedByAsserts++
+	return nil
+}
+
+// ownerOf binary-searches the ownee table. This runs once per ownee per
+// trace (the paper's "n log n" cost), so it is hand-rolled rather than
+// paying sort.Search's per-probe closure call.
+func (e *Engine) ownerOf(r vmheap.Ref) (int, bool) {
+	lo, hi := 0, len(e.ownees)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if e.ownees[mid].obj < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(e.ownees) && e.ownees[lo].obj == r {
+		return int(e.ownees[lo].owner), true
+	}
+	return 0, false
+}
+
+// HasOwnership reports whether any owner/ownee pairs are registered; the
+// collector skips the ownership phase entirely when false.
+func (e *Engine) HasOwnership() bool { return len(e.ownees) > 0 }
+
+// NumOwners returns the number of owner slots (including holes).
+func (e *Engine) NumOwners() int { return len(e.owners) }
+
+// NumOwnees returns the current ownee-table size.
+func (e *Engine) NumOwnees() int { return len(e.ownees) }

@@ -1,0 +1,236 @@
+package classes
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltinClasses(t *testing.T) {
+	r := NewRegistry()
+	if got := r.Name(RefArrayClassID); got != "Object[]" {
+		t.Errorf("RefArray name = %q", got)
+	}
+	if got := r.Name(DataArrayClassID); got != "data[]" {
+		t.Errorf("DataArray name = %q", got)
+	}
+	if r.NumClasses() != 2 {
+		t.Errorf("NumClasses = %d, want 2", r.NumClasses())
+	}
+}
+
+func TestDefineLayout(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustDefine("Order",
+		nil,
+		Field{Name: "customer", Kind: RefKind},
+		Field{Name: "id", Kind: DataKind},
+		Field{Name: "lines", Kind: RefKind},
+	)
+	if c.FieldWords != 3 {
+		t.Errorf("FieldWords = %d, want 3", c.FieldWords)
+	}
+	// Offsets start at 1 (word 0 is the header).
+	if off := c.MustFieldIndex("customer"); off != 1 {
+		t.Errorf("customer offset = %d, want 1", off)
+	}
+	if off := c.MustFieldIndex("id"); off != 2 {
+		t.Errorf("id offset = %d, want 2", off)
+	}
+	if off := c.MustFieldIndex("lines"); off != 3 {
+		t.Errorf("lines offset = %d, want 3", off)
+	}
+	want := []uint16{1, 3}
+	got := r.RefOffsets(c.ID)
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("RefOffsets = %v, want %v", got, want)
+	}
+}
+
+func TestDefineInheritance(t *testing.T) {
+	r := NewRegistry()
+	base := r.MustDefine("Entity", nil,
+		Field{Name: "next", Kind: RefKind},
+		Field{Name: "tag", Kind: DataKind},
+	)
+	sub := r.MustDefine("Order", base,
+		Field{Name: "customer", Kind: RefKind},
+	)
+	if sub.FieldWords != 3 {
+		t.Errorf("FieldWords = %d, want 3", sub.FieldWords)
+	}
+	// Inherited fields keep their offsets.
+	if off := sub.MustFieldIndex("next"); off != 1 {
+		t.Errorf("inherited next offset = %d, want 1", off)
+	}
+	if off := sub.MustFieldIndex("customer"); off != 3 {
+		t.Errorf("customer offset = %d, want 3", off)
+	}
+	if !sub.IsSubclassOf(base) {
+		t.Error("IsSubclassOf(base) = false")
+	}
+	if base.IsSubclassOf(sub) {
+		t.Error("base.IsSubclassOf(sub) = true")
+	}
+	if !sub.IsSubclassOf(sub) {
+		t.Error("IsSubclassOf(self) = false")
+	}
+}
+
+func TestDefineErrors(t *testing.T) {
+	r := NewRegistry()
+	r.MustDefine("A", nil)
+	if _, err := r.Define("A", nil, nil); err == nil {
+		t.Error("duplicate class name accepted")
+	}
+	if _, err := r.Define("B", nil, []Field{
+		{Name: "x", Kind: DataKind},
+		{Name: "x", Kind: RefKind},
+	}); err == nil {
+		t.Error("duplicate field name accepted")
+	}
+	c := r.ByName("A")
+	if _, err := c.FieldIndex("missing"); err == nil {
+		t.Error("FieldIndex on missing field did not error")
+	}
+}
+
+func TestByNameByID(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustDefine("Widget", nil)
+	if r.ByName("Widget") != c {
+		t.Error("ByName lookup failed")
+	}
+	if r.ByID(c.ID) != c {
+		t.Error("ByID lookup failed")
+	}
+	if r.ByName("nope") != nil {
+		t.Error("ByName on missing class returned non-nil")
+	}
+}
+
+func TestInstanceTracking(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustDefine("Searcher", nil)
+	if r.Tracked(c.ID) {
+		t.Error("fresh class already tracked")
+	}
+	r.SetInstanceLimit(c, 1, false)
+	if !r.Tracked(c.ID) {
+		t.Error("class not tracked after SetInstanceLimit")
+	}
+	for i := 0; i < 3; i++ {
+		r.CountInstance(c.ID)
+	}
+	over := r.CheckLimits()
+	if len(over) != 1 {
+		t.Fatalf("CheckLimits found %d violations, want 1", len(over))
+	}
+	if over[0].Count != 3 || over[0].Limit != 1 || over[0].Class != c {
+		t.Errorf("violation = %+v", over[0])
+	}
+	// Counts reset: a second check with no counting passes.
+	if over := r.CheckLimits(); len(over) != 0 {
+		t.Errorf("counts not reset: %v", over)
+	}
+}
+
+func TestInstanceLimitZero(t *testing.T) {
+	// The paper: "Passing 0 for I checks that no instances of a
+	// particular class exist (at GC time)."
+	r := NewRegistry()
+	c := r.MustDefine("Forbidden", nil)
+	r.SetInstanceLimit(c, 0, false)
+	r.CountInstance(c.ID)
+	if over := r.CheckLimits(); len(over) != 1 {
+		t.Error("single instance with limit 0 not reported")
+	}
+	if over := r.CheckLimits(); len(over) != 0 {
+		t.Error("zero instances with limit 0 reported")
+	}
+}
+
+func TestInstanceTrackingSubclasses(t *testing.T) {
+	r := NewRegistry()
+	base := r.MustDefine("Conn", nil)
+	sub := r.MustDefine("TLSConn", base)
+	other := r.MustDefine("Other", nil)
+
+	r.SetInstanceLimit(base, 2, true)
+	if !r.Tracked(sub.ID) {
+		t.Error("subclass not tracked under inclusive limit")
+	}
+	if r.Tracked(other.ID) {
+		t.Error("unrelated class tracked")
+	}
+	r.CountInstance(base.ID)
+	r.CountInstance(sub.ID)
+	r.CountInstance(sub.ID)
+	over := r.CheckLimits()
+	if len(over) != 1 || over[0].Count != 3 {
+		t.Errorf("inclusive count = %+v, want one violation with count 3", over)
+	}
+
+	// Exact-type limits do not include subclasses.
+	r.SetInstanceLimit(base, 2, false)
+	if r.Tracked(sub.ID) {
+		t.Error("subclass still tracked after exact limit")
+	}
+}
+
+func TestClearInstanceLimit(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustDefine("X", nil)
+	r.SetInstanceLimit(c, 0, false)
+	r.ClearInstanceLimit(c)
+	if r.Tracked(c.ID) {
+		t.Error("still tracked after clear")
+	}
+	r.CountInstance(c.ID) // must be a no-op, not a panic
+	if over := r.CheckLimits(); len(over) != 0 {
+		t.Errorf("violations after clear: %v", over)
+	}
+	r.ClearInstanceLimit(c) // idempotent
+}
+
+func TestSetInstanceLimitReplaces(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustDefine("X", nil)
+	r.SetInstanceLimit(c, 0, false)
+	r.SetInstanceLimit(c, 10, false)
+	for i := 0; i < 5; i++ {
+		r.CountInstance(c.ID)
+	}
+	if over := r.CheckLimits(); len(over) != 0 {
+		t.Errorf("limit replacement failed: %v", over)
+	}
+}
+
+// Property: field offsets are dense, unique and start at 1 for any set of
+// distinct field names.
+func TestPropertyFieldOffsetsDense(t *testing.T) {
+	f := func(nRefs, nData uint8) bool {
+		r := NewRegistry()
+		var fields []Field
+		for i := 0; i < int(nRefs%20); i++ {
+			fields = append(fields, Field{Name: string(rune('a'+i)) + "r", Kind: RefKind})
+		}
+		for i := 0; i < int(nData%20); i++ {
+			fields = append(fields, Field{Name: string(rune('a'+i)) + "d", Kind: DataKind})
+		}
+		c, err := r.Define("C", nil, fields)
+		if err != nil {
+			return false
+		}
+		seen := map[uint16]bool{}
+		for _, f := range c.Fields {
+			if f.Offset < 1 || f.Offset > uint16(len(fields)) || seen[f.Offset] {
+				return false
+			}
+			seen[f.Offset] = true
+		}
+		return int(c.FieldWords) == len(fields)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

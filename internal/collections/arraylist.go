@@ -1,0 +1,117 @@
+package collections
+
+import "repro/internal/core"
+
+// initialListCap is the backing-array capacity of a fresh ArrayList.
+const initialListCap = 8
+
+// NewList allocates an empty ArrayList on th.
+func (k *Kit) NewList(th *core.Thread) core.Ref {
+	f := th.PushFrame(1)
+	defer th.PopFrame()
+	list := th.New(k.listClass)
+	f.SetLocal(0, list)
+	data := th.NewRefArray(initialListCap)
+	k.rt.SetRef(list, k.listData, data)
+	return list
+}
+
+// ListLen returns the number of elements in the list.
+func (k *Kit) ListLen(list core.Ref) int {
+	return int(k.rt.GetInt(list, k.listSize))
+}
+
+// ListGet returns element i. It panics with *core.IndexError when i is out
+// of range.
+func (k *Kit) ListGet(list core.Ref, i int) core.Ref {
+	k.checkListIndex(list, i)
+	return k.rt.ArrGetRef(k.rt.GetRef(list, k.listData), i)
+}
+
+// ListSet replaces element i.
+func (k *Kit) ListSet(list core.Ref, i int, val core.Ref) {
+	k.checkListIndex(list, i)
+	k.rt.ArrSetRef(k.rt.GetRef(list, k.listData), i, val)
+}
+
+// ListAdd appends val, growing the backing array as needed. th supplies the
+// allocation context for growth.
+func (k *Kit) ListAdd(th *core.Thread, list core.Ref, val core.Ref) {
+	rt := k.rt
+	size := int(rt.GetInt(list, k.listSize))
+	data := rt.GetRef(list, k.listData)
+	if size == rt.ArrLen(data) {
+		// Grow: the new array is unreachable until stored, and val may
+		// be unreachable too, so pin both (and the list) while we
+		// allocate.
+		f := th.PushFrame(2)
+		f.SetLocal(0, list)
+		f.SetLocal(1, val)
+		bigger := th.NewRefArray(size * 2)
+		data = rt.GetRef(list, k.listData) // re-read: GC cannot move, but be explicit
+		for i := 0; i < size; i++ {
+			rt.ArrSetRef(bigger, i, rt.ArrGetRef(data, i))
+		}
+		rt.SetRef(list, k.listData, bigger)
+		data = bigger
+		th.PopFrame()
+	}
+	rt.ArrSetRef(data, size, val)
+	rt.SetInt(list, k.listSize, int64(size+1))
+}
+
+// ListRemoveAt removes element i, shifting the tail left, and returns the
+// removed reference.
+func (k *Kit) ListRemoveAt(list core.Ref, i int) core.Ref {
+	k.checkListIndex(list, i)
+	rt := k.rt
+	size := int(rt.GetInt(list, k.listSize))
+	data := rt.GetRef(list, k.listData)
+	out := rt.ArrGetRef(data, i)
+	for j := i; j < size-1; j++ {
+		rt.ArrSetRef(data, j, rt.ArrGetRef(data, j+1))
+	}
+	rt.ArrSetRef(data, size-1, core.Nil)
+	rt.SetInt(list, k.listSize, int64(size-1))
+	return out
+}
+
+// ListClear empties the list, dropping all element references.
+func (k *Kit) ListClear(list core.Ref) {
+	rt := k.rt
+	size := int(rt.GetInt(list, k.listSize))
+	data := rt.GetRef(list, k.listData)
+	for i := 0; i < size; i++ {
+		rt.ArrSetRef(data, i, core.Nil)
+	}
+	rt.SetInt(list, k.listSize, 0)
+}
+
+// ListIndexOf returns the index of the first element equal to val, or -1.
+func (k *Kit) ListIndexOf(list core.Ref, val core.Ref) int {
+	rt := k.rt
+	size := int(rt.GetInt(list, k.listSize))
+	data := rt.GetRef(list, k.listData)
+	for i := 0; i < size; i++ {
+		if rt.ArrGetRef(data, i) == val {
+			return i
+		}
+	}
+	return -1
+}
+
+// ListEach calls fn for each element in order.
+func (k *Kit) ListEach(list core.Ref, fn func(i int, val core.Ref)) {
+	rt := k.rt
+	size := int(rt.GetInt(list, k.listSize))
+	data := rt.GetRef(list, k.listData)
+	for i := 0; i < size; i++ {
+		fn(i, rt.ArrGetRef(data, i))
+	}
+}
+
+func (k *Kit) checkListIndex(list core.Ref, i int) {
+	if n := int(k.rt.GetInt(list, k.listSize)); i < 0 || i >= n {
+		panic(&core.IndexError{Index: i, Len: n})
+	}
+}

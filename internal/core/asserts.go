@@ -1,0 +1,92 @@
+package core
+
+import "errors"
+
+// ErrAssertionsDisabled is returned by every assertion entry point when the
+// runtime is in Base mode (the unmodified collector has no assertion
+// infrastructure).
+var ErrAssertionsDisabled = errors.New("core: assertions require Infrastructure mode")
+
+// AssertDead asserts that obj will be reclaimed by the next full
+// collection: if the collector finds it reachable, a DeadReachable
+// violation with the complete heap path is reported.
+func (rt *Runtime) AssertDead(obj Ref) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.engine == nil {
+		return ErrAssertionsDisabled
+	}
+	return rt.engine.AssertDead(obj)
+}
+
+// AssertUnshared asserts that obj has at most one incoming pointer: if a
+// trace encounters it twice, a SharedObject violation is reported with the
+// second path.
+func (rt *Runtime) AssertUnshared(obj Ref) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.engine == nil {
+		return ErrAssertionsDisabled
+	}
+	return rt.engine.AssertUnshared(obj)
+}
+
+// AssertInstances asserts that at most limit instances of c are live at
+// each full collection. Passing 0 asserts that no instances exist at GC
+// time. The limit counts exact types, as in the paper.
+func (rt *Runtime) AssertInstances(c *Class, limit int64) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.engine == nil {
+		return ErrAssertionsDisabled
+	}
+	return rt.engine.AssertInstances(c, limit, false)
+}
+
+// AssertInstancesIncludingSubclasses is AssertInstances with the count
+// widened to all subclasses of c (an extension beyond the paper).
+func (rt *Runtime) AssertInstancesIncludingSubclasses(c *Class, limit int64) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.engine == nil {
+		return ErrAssertionsDisabled
+	}
+	return rt.engine.AssertInstances(c, limit, true)
+}
+
+// AssertOwnedBy asserts that ownee never outlives owner: at every full
+// collection, if ownee is reachable, at least one path to it must pass
+// through owner. Owner regions must be disjoint (see the paper's Section
+// 2.5.2); structurally conflicting registrations are rejected.
+func (rt *Runtime) AssertOwnedBy(owner, ownee Ref) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.engine == nil {
+		return ErrAssertionsDisabled
+	}
+	return rt.engine.AssertOwnedBy(owner, ownee)
+}
+
+// StartRegion opens an assert-alldead bracket on this thread: every object
+// the thread allocates until the matching AssertAllDead is recorded.
+func (t *Thread) StartRegion() error {
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	if t.rt.engine == nil {
+		return ErrAssertionsDisabled
+	}
+	t.rt.engine.StartRegion(t.th)
+	return nil
+}
+
+// AssertAllDead closes the innermost region bracket and asserts every
+// object allocated within it dead: any of them still reachable at the next
+// full collection is reported as a RegionSurvivor violation.
+func (t *Thread) AssertAllDead() error {
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	if t.rt.engine == nil {
+		return ErrAssertionsDisabled
+	}
+	return t.rt.engine.AssertAllDead(t.th)
+}

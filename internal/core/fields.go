@@ -1,0 +1,106 @@
+package core
+
+// Field and array accessors. Reference stores go through the collector's
+// write barrier (a no-op for mark-sweep, remembered-set maintenance for the
+// generational collector).
+//
+// Field offsets come from Class.MustFieldIndex; workload code resolves them
+// once at setup and uses the integer offsets on the hot paths, the way a
+// managed runtime compiles field accesses to fixed offsets.
+
+// GetRef reads the reference field at word offset off of obj.
+func (rt *Runtime) GetRef(obj Ref, off uint16) Ref {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.heap.RefAt(obj, uint32(off))
+}
+
+// SetRef stores a reference into the field at word offset off of obj.
+func (rt *Runtime) SetRef(obj Ref, off uint16, val Ref) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.collector.WriteBarrier(obj)
+	rt.heap.SetRefAt(obj, uint32(off), val)
+}
+
+// GetData reads the raw data field at word offset off of obj.
+func (rt *Runtime) GetData(obj Ref, off uint16) uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.heap.Word(obj, uint32(off))
+}
+
+// SetData stores a raw word into the field at word offset off of obj.
+func (rt *Runtime) SetData(obj Ref, off uint16, v uint64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.heap.SetWord(obj, uint32(off), v)
+}
+
+// GetInt reads a data field as a signed integer.
+func (rt *Runtime) GetInt(obj Ref, off uint16) int64 {
+	return int64(rt.GetData(obj, off))
+}
+
+// SetInt stores a signed integer into a data field.
+func (rt *Runtime) SetInt(obj Ref, off uint16, v int64) {
+	rt.SetData(obj, off, uint64(v))
+}
+
+// ArrLen returns the element count of the array at arr.
+func (rt *Runtime) ArrLen(arr Ref) int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return int(rt.heap.ArrayLen(arr))
+}
+
+// ArrGetRef reads element i of a reference array.
+func (rt *Runtime) ArrGetRef(arr Ref, i int) Ref {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.checkIndex(arr, i)
+	return Ref(rt.heap.ArrayWord(arr, uint32(i)))
+}
+
+// ArrSetRef stores a reference into element i of a reference array.
+func (rt *Runtime) ArrSetRef(arr Ref, i int, val Ref) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.checkIndex(arr, i)
+	rt.collector.WriteBarrier(arr)
+	rt.heap.SetArrayWord(arr, uint32(i), uint64(val))
+}
+
+// ArrGetData reads element i of a data array.
+func (rt *Runtime) ArrGetData(arr Ref, i int) uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.checkIndex(arr, i)
+	return rt.heap.ArrayWord(arr, uint32(i))
+}
+
+// ArrSetData stores a word into element i of a data array.
+func (rt *Runtime) ArrSetData(arr Ref, i int, v uint64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.checkIndex(arr, i)
+	rt.heap.SetArrayWord(arr, uint32(i), v)
+}
+
+// checkIndex panics with an IndexError on out-of-bounds array access — the
+// managed runtime's bounds check.
+func (rt *Runtime) checkIndex(arr Ref, i int) {
+	if n := int(rt.heap.ArrayLen(arr)); i < 0 || i >= n {
+		panic(&IndexError{Index: i, Len: n})
+	}
+}
+
+// IndexError is the panic value for out-of-bounds array accesses.
+type IndexError struct {
+	Index, Len int
+}
+
+// Error implements the error interface.
+func (e *IndexError) Error() string {
+	return "core: array index out of range"
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newGenRT(t testing.TB, words int) *Runtime {
+	t.Helper()
+	return New(Config{
+		HeapWords: words,
+		Collector: Generational,
+		Mode:      Infrastructure,
+	})
+}
+
+func TestGenerationalMinorCollects(t *testing.T) {
+	rt := newGenRT(t, 1<<12)
+	node := rt.DefineClass("Node", DataField("x"))
+	th := rt.MainThread()
+	for i := 0; i < 5000; i++ {
+		th.New(node) // all garbage
+	}
+	st := rt.Stats()
+	if st.GC.MinorCollections == 0 {
+		t.Error("no minor collections ran")
+	}
+	if st.GC.FreedObjects == 0 {
+		t.Error("minor collections freed nothing")
+	}
+}
+
+func TestGenerationalPromotionAndBarrier(t *testing.T) {
+	rt := newGenRT(t, 1<<13)
+	node := rt.DefineClass("Node", RefField("next"), DataField("val"))
+	next := node.MustFieldIndex("next")
+	val := node.MustFieldIndex("val")
+	th := rt.MainThread()
+
+	// Build a long-lived (mature) object.
+	mature := th.New(node)
+	rt.SetInt(mature, val, 1)
+	rt.AddGlobal("old").Set(mature)
+	if err := rt.Collect(); err != nil { // promotes it
+		t.Fatal(err)
+	}
+
+	// Store a nursery object into the mature one: only the write barrier
+	// keeps it alive across a minor collection, because the minor trace
+	// does not scan mature objects except via the remembered set.
+	young := th.New(node)
+	rt.SetInt(young, val, 2)
+	rt.SetRef(mature, next, young)
+
+	if err := rt.Collect(); err != nil { // minor
+		t.Fatal(err)
+	}
+	got := rt.GetRef(mature, next)
+	if got != young {
+		t.Fatal("young object lost across minor collection (write barrier broken)")
+	}
+	if rt.GetInt(young, val) != 2 {
+		t.Error("young object corrupted across minor collection")
+	}
+}
+
+func TestGenerationalAssertionsOnlyAtFullGC(t *testing.T) {
+	// The paper's caveat: a generational collector checks assertions only
+	// at full-heap collections.
+	rt := New(Config{
+		HeapWords:     1 << 13,
+		Collector:     Generational,
+		Mode:          Infrastructure,
+		GenMajorEvery: 1000, // effectively never under this test's load
+		GenMinorFloor: -1,   // no escalation to major
+	})
+	node := rt.DefineClass("Node")
+	th := rt.MainThread()
+
+	obj := th.New(node)
+	rt.AddGlobal("g").Set(obj)
+	rt.AssertDead(obj)
+
+	if err := rt.Collect(); err != nil { // minor: no checks
+		t.Fatal(err)
+	}
+	if rt.Stats().GC.MinorCollections == 0 {
+		t.Fatal("expected a minor collection")
+	}
+	if n := len(rt.Violations()); n != 0 {
+		t.Fatalf("minor collection checked assertions: %d violations", n)
+	}
+
+	if err := rt.GC(); err != nil { // full: checks run
+		t.Fatal(err)
+	}
+	if n := len(rt.Violations()); n != 1 {
+		t.Fatalf("full collection found %d violations, want 1", n)
+	}
+}
+
+func TestGenerationalMajorPolicy(t *testing.T) {
+	rt := New(Config{
+		HeapWords:     1 << 12,
+		Collector:     Generational,
+		Mode:          Infrastructure,
+		GenMajorEvery: 2,
+	})
+	node := rt.DefineClass("Node", DataField("x"))
+	th := rt.MainThread()
+	for i := 0; i < 20000; i++ {
+		th.New(node)
+	}
+	st := rt.Stats()
+	if st.GC.FullCollections == 0 {
+		t.Error("major policy never triggered a full collection")
+	}
+	if st.GC.MinorCollections == 0 {
+		t.Error("no minor collections at all")
+	}
+}
+
+func TestGenerationalNurseryOwneePurged(t *testing.T) {
+	// An ownee allocated and dropped in the nursery must be purged from
+	// the engine tables by the minor collection that reclaims it.
+	rt := New(Config{
+		HeapWords:     1 << 12,
+		Collector:     Generational,
+		Mode:          Infrastructure,
+		GenMajorEvery: 1000,
+		GenMinorFloor: -1,
+	})
+	owner := rt.DefineClass("Owner", RefField("e"))
+	elem := rt.DefineClass("Elem")
+	th := rt.MainThread()
+
+	o := th.New(owner)
+	rt.AddGlobal("o").Set(o)
+	e := th.New(elem)
+	rt.SetRef(o, owner.MustFieldIndex("e"), e)
+	rt.AssertOwnedBy(o, e)
+
+	rt.SetRef(o, owner.MustFieldIndex("e"), Nil) // e now garbage
+	if err := rt.Collect(); err != nil {         // minor reclaims e
+		t.Fatal(err)
+	}
+	if rt.Stats().GC.MinorCollections == 0 {
+		t.Fatal("expected a minor collection")
+	}
+	if got := rt.Stats().Asserts.OwneesLive; got != 0 {
+		t.Errorf("ownee table after minor GC = %d, want 0", got)
+	}
+}
+
+// mutatorModel drives an arbitrary interleaving of allocations, pointer
+// stores and collections against both collectors and checks that a shadow
+// model of the reachable graph is always preserved.
+func mutatorModel(t *testing.T, kind CollectorKind) func(seed int64) bool {
+	return func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rt := New(Config{HeapWords: 1 << 12, Collector: kind, Mode: Infrastructure})
+		node := rt.DefineClass("Node", RefField("next"), DataField("val"))
+		next := node.MustFieldIndex("next")
+		val := node.MustFieldIndex("val")
+		th := rt.MainThread()
+
+		const slots = 8
+		f := th.PushFrame(slots)
+		shadow := make(map[Ref]int64) // rooted objects -> expected val
+
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4: // allocate into a random slot
+				i := rng.Intn(slots)
+				old := f.Local(i)
+				if old != Nil && !slotAliased(f, i, slots) {
+					delete(shadow, old)
+				}
+				o := th.New(node)
+				v := rng.Int63()
+				rt.SetInt(o, val, v)
+				f.SetLocal(i, o)
+				shadow[o] = v
+			case 5, 6: // link two rooted objects
+				a, b := f.Local(rng.Intn(slots)), f.Local(rng.Intn(slots))
+				if a != Nil {
+					rt.SetRef(a, next, b)
+				}
+			case 7: // clear a slot
+				i := rng.Intn(slots)
+				old := f.Local(i)
+				f.SetLocal(i, Nil)
+				if old != Nil && !slotAliased(f, i, slots) {
+					delete(shadow, old)
+				}
+			case 8:
+				if err := rt.Collect(); err != nil {
+					return false
+				}
+			case 9:
+				if err := rt.GC(); err != nil {
+					return false
+				}
+			}
+			// Verify every rooted object still holds its value.
+			for i := 0; i < slots; i++ {
+				o := f.Local(i)
+				if o == Nil {
+					continue
+				}
+				if want, ok := shadow[o]; ok && rt.GetInt(o, val) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+}
+
+// slotAliased reports whether the ref in slot i also appears in another
+// slot (shadow bookkeeping helper).
+func slotAliased(f *Frame, i, slots int) bool {
+	r := f.Local(i)
+	for j := 0; j < slots; j++ {
+		if j != i && f.Local(j) == r {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPropertyMutatorModelMarkSweep(t *testing.T) {
+	if err := quick.Check(mutatorModel(t, MarkSweep), &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMutatorModelGenerational(t *testing.T) {
+	if err := quick.Check(mutatorModel(t, Generational), &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

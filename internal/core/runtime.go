@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/assertions"
+	"repro/internal/classes"
+	"repro/internal/gc"
+	"repro/internal/report"
+	"repro/internal/roots"
+	"repro/internal/threads"
+	"repro/internal/vmheap"
+)
+
+// Ref is a managed-heap reference. The zero value is the null reference.
+type Ref = vmheap.Ref
+
+// Nil is the null reference.
+const Nil = vmheap.Nil
+
+// Class is runtime class metadata; obtain instances via DefineClass.
+type Class = classes.Class
+
+// Field declares one field in DefineClass.
+type Field = classes.Field
+
+// RefField declares a reference field (traced by the collector).
+func RefField(name string) Field { return Field{Name: name, Kind: classes.RefKind} }
+
+// DataField declares a raw 64-bit data field (ignored by tracing).
+func DataField(name string) Field { return Field{Name: name, Kind: classes.DataKind} }
+
+// Mode selects the collector configuration (see the paper's Figures 2-5).
+type Mode = gc.Mode
+
+// Collector configurations.
+const (
+	// Base is the unmodified collector; assertions are unavailable.
+	Base = gc.Base
+	// Infrastructure enables the assertion machinery on every full
+	// collection. Registering assertions on top yields the paper's
+	// "WithAssertions" configuration.
+	Infrastructure = gc.Infrastructure
+)
+
+// CollectorKind selects the collection algorithm.
+type CollectorKind uint8
+
+const (
+	// MarkSweep is the paper's full-heap mark-sweep collector.
+	MarkSweep CollectorKind = iota
+	// Generational is a two-generation variant that checks assertions
+	// only at full-heap collections.
+	Generational
+)
+
+// Config configures a Runtime. The zero value is not usable: HeapWords is
+// required.
+type Config struct {
+	// HeapWords is the fixed heap capacity in 64-bit words. The paper
+	// sizes heaps at twice the minimum live size of each benchmark.
+	HeapWords int
+	// Collector selects the algorithm (default MarkSweep).
+	Collector CollectorKind
+	// Mode selects Base or Infrastructure (default Infrastructure).
+	Mode Mode
+	// Handler receives assertion violations. When nil, violations are
+	// only recorded (retrievable via Runtime.Violations).
+	Handler report.Handler
+	// GenMajorEvery overrides the generational collector's major-GC
+	// policy (number of minors between majors); 0 keeps the default.
+	GenMajorEvery int
+	// GenMinorFloor overrides the fraction of the heap a minor collection
+	// must free to avoid escalating to a major collection. 0 keeps the
+	// default; a negative value disables escalation.
+	GenMinorFloor float64
+}
+
+// Runtime is a managed heap plus its collector and assertion engine.
+type Runtime struct {
+	mu sync.Mutex
+
+	heap      *vmheap.Heap
+	reg       *classes.Registry
+	threads   *threads.Set
+	globals   *roots.Table
+	engine    *assertions.Engine // nil in Base mode
+	collector gc.Collector
+	mode      Mode
+
+	rootSrc roots.Multi
+
+	recorder *report.Recorder
+	main     *Thread
+}
+
+// rootSource returns the aggregated root set (globals plus thread stacks).
+func (rt *Runtime) rootSource() roots.Source { return rt.rootSrc }
+
+// New creates a runtime with the given configuration.
+func New(cfg Config) *Runtime {
+	rt := &Runtime{
+		heap:     vmheap.New(cfg.HeapWords),
+		reg:      classes.NewRegistry(),
+		threads:  threads.NewSet(),
+		globals:  roots.NewTable(),
+		mode:     cfg.Mode,
+		recorder: &report.Recorder{},
+	}
+	rt.rootSrc = roots.Multi{rt.globals, rt.threads}
+	src := rt.rootSrc
+
+	if cfg.Mode == Infrastructure {
+		handler := report.Handler(rt.recorder)
+		if cfg.Handler != nil {
+			handler = report.Tee{rt.recorder, cfg.Handler}
+		}
+		rt.engine = assertions.New(rt.heap, rt.reg, rt.threads, handler)
+	}
+
+	switch cfg.Collector {
+	case MarkSweep:
+		rt.collector = gc.NewMarkSweep(rt.heap, rt.reg, src, cfg.Mode, rt.engine)
+	case Generational:
+		g := gc.NewGenerational(rt.heap, rt.reg, src, cfg.Mode, rt.engine)
+		if cfg.GenMajorEvery > 0 {
+			g.MajorEvery = cfg.GenMajorEvery
+		}
+		if cfg.GenMinorFloor != 0 {
+			g.MinorFloor = max(cfg.GenMinorFloor, 0)
+		}
+		rt.collector = g
+	default:
+		panic(fmt.Sprintf("core: unknown collector kind %d", cfg.Collector))
+	}
+
+	rt.main = &Thread{rt: rt, th: rt.threads.New("main")}
+	return rt
+}
+
+// DefineClass registers a new class with the given fields.
+func (rt *Runtime) DefineClass(name string, fields ...Field) *Class {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.reg.MustDefine(name, nil, fields...)
+}
+
+// DefineSubclass registers a class extending super; inherited fields keep
+// their offsets.
+func (rt *Runtime) DefineSubclass(name string, super *Class, fields ...Field) *Class {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.reg.MustDefine(name, super, fields...)
+}
+
+// ClassOf returns the class of the object at r.
+func (rt *Runtime) ClassOf(r Ref) *Class {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.reg.ByID(rt.heap.ClassID(r))
+}
+
+// MainThread returns the runtime's initial thread.
+func (rt *Runtime) MainThread() *Thread { return rt.main }
+
+// NewThread creates an additional mutator thread.
+func (rt *Runtime) NewThread(name string) *Thread {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return &Thread{rt: rt, th: rt.threads.New(name)}
+}
+
+// Global is a named static root.
+type Global struct {
+	rt *Runtime
+	g  *roots.Global
+}
+
+// AddGlobal creates a named global root slot.
+func (rt *Runtime) AddGlobal(name string) *Global {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return &Global{rt: rt, g: rt.globals.Add(name)}
+}
+
+// Get returns the reference held by the global.
+func (g *Global) Get() Ref {
+	g.rt.mu.Lock()
+	defer g.rt.mu.Unlock()
+	return g.g.Get()
+}
+
+// Set stores a reference into the global.
+func (g *Global) Set(r Ref) {
+	g.rt.mu.Lock()
+	defer g.rt.mu.Unlock()
+	g.g.Set(r)
+}
+
+// GC forces a full-heap collection (the kind that checks assertions). It
+// returns a *report.HaltError if a violation handler requested Halt.
+func (rt *Runtime) GC() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.collector.CollectFull()
+}
+
+// Collect runs one collection under the collector's own policy (for the
+// generational collector this may be a minor collection, which checks no
+// assertions).
+func (rt *Runtime) Collect() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.collector.Collect()
+}
+
+// Violations returns the assertion violations recorded so far.
+func (rt *Runtime) Violations() []*report.Violation {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]*report.Violation, len(rt.recorder.Violations))
+	copy(out, rt.recorder.Violations)
+	return out
+}
+
+// ResetViolations clears the recorded violations.
+func (rt *Runtime) ResetViolations() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.recorder.Reset()
+}
+
+// Mode returns the runtime's collector configuration.
+func (rt *Runtime) Mode() Mode { return rt.mode }

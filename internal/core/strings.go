@@ -1,0 +1,46 @@
+package core
+
+// Managed string support: strings are stored as data arrays whose first
+// word is the byte length, followed by the bytes packed eight per word.
+// This gives the workloads (notably the lusearch text-search engine)
+// realistic variable-length payload objects that the collector must parse
+// and sweep.
+
+// NewString allocates a managed copy of s on this thread.
+func (t *Thread) NewString(s string) Ref {
+	words := 1 + (len(s)+7)/8
+	arr := t.NewDataArray(words)
+	rt := t.rt
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.heap.SetArrayWord(arr, 0, uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		w := uint32(1 + i/8)
+		shift := uint(i%8) * 8
+		old := rt.heap.ArrayWord(arr, w)
+		rt.heap.SetArrayWord(arr, w, old|uint64(s[i])<<shift)
+	}
+	return arr
+}
+
+// StringAt decodes the managed string at r.
+func (rt *Runtime) StringAt(r Ref) string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	n := int(rt.heap.ArrayWord(r, 0))
+	b := make([]byte, n)
+	for i := 0; i < n; i++ {
+		w := uint32(1 + i/8)
+		shift := uint(i%8) * 8
+		b[i] = byte(rt.heap.ArrayWord(r, w) >> shift)
+	}
+	return string(b)
+}
+
+// StringLen returns the byte length of the managed string at r without
+// decoding it.
+func (rt *Runtime) StringLen(r Ref) int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return int(rt.heap.ArrayWord(r, 0))
+}

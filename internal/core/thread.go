@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/classes"
+	"repro/internal/threads"
+	"repro/internal/vmheap"
+)
+
+// Thread is a mutator thread: its frame locals are GC roots, and it carries
+// the per-thread region state of start-region / assert-alldead. Thread
+// methods may be called from any goroutine; a goroutine-per-Thread
+// structure mirrors a managed language's threads.
+type Thread struct {
+	rt *Runtime
+	th *threads.Thread
+}
+
+// Name returns the thread name.
+func (t *Thread) Name() string { return t.th.Name() }
+
+// OutOfMemoryError is the panic value raised when an allocation cannot be
+// satisfied even after a full collection — the analog of a JVM
+// OutOfMemoryError under the paper's fixed-heap methodology.
+type OutOfMemoryError struct {
+	RequestWords uint32
+	LiveWords    uint64
+	HeapWords    uint64
+}
+
+// Error implements the error interface.
+func (e *OutOfMemoryError) Error() string {
+	return fmt.Sprintf("core: out of memory: need %d words, %d of %d live after full GC",
+		e.RequestWords, e.LiveWords, e.HeapWords)
+}
+
+// Frame is an activation record whose local slots are GC roots.
+type Frame struct {
+	rt *Runtime
+	f  *threads.Frame
+}
+
+// PushFrame pushes a frame with n local root slots.
+func (t *Thread) PushFrame(n int) *Frame {
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	return &Frame{rt: t.rt, f: t.th.PushFrame(n)}
+}
+
+// PopFrame pops the thread's current frame.
+func (t *Thread) PopFrame() {
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	t.th.PopFrame()
+}
+
+// Local returns the reference in slot i.
+func (f *Frame) Local(i int) Ref {
+	f.rt.mu.Lock()
+	defer f.rt.mu.Unlock()
+	return f.f.Local(i)
+}
+
+// SetLocal stores a reference in slot i.
+func (f *Frame) SetLocal(i int, r Ref) {
+	f.rt.mu.Lock()
+	defer f.rt.mu.Unlock()
+	f.f.SetLocal(i, r)
+}
+
+// New allocates an instance of c, running garbage collections as needed.
+// It panics with *OutOfMemoryError when the heap cannot satisfy the request
+// even after a full collection, and with *report.HaltError if a collection
+// run on its behalf hit a Halt-requesting violation.
+func (t *Thread) New(c *Class) Ref {
+	r, err := t.TryNew(c)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// TryNew is New returning errors instead of panicking.
+func (t *Thread) TryNew(c *Class) (Ref, error) {
+	return t.alloc(vmheap.KindScalar, c.ID, c.FieldWords)
+}
+
+// NewRefArray allocates an array of n references (all Nil).
+func (t *Thread) NewRefArray(n int) Ref {
+	r, err := t.alloc(vmheap.KindRefArray, classes.RefArrayClassID, uint32(n))
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// NewDataArray allocates an array of n raw data words (all zero).
+func (t *Thread) NewDataArray(n int) Ref {
+	r, err := t.alloc(vmheap.KindDataArray, classes.DataArrayClassID, uint32(n))
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// alloc is the common allocation path: allocate, collecting (then
+// collecting fully) on exhaustion; record the object in any active region
+// bracket on this thread.
+func (t *Thread) alloc(kind vmheap.Kind, classID uint32, n uint32) (Ref, error) {
+	rt := t.rt
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+
+	r, err := rt.heap.Alloc(kind, classID, n)
+	if err == vmheap.ErrHeapExhausted {
+		if cerr := rt.collector.Collect(); cerr != nil {
+			return Nil, cerr
+		}
+		r, err = rt.heap.Alloc(kind, classID, n)
+		if err == vmheap.ErrHeapExhausted {
+			// A generational minor collection may not have freed
+			// enough; fall back to a full collection.
+			if cerr := rt.collector.CollectFull(); cerr != nil {
+				return Nil, cerr
+			}
+			r, err = rt.heap.Alloc(kind, classID, n)
+		}
+	}
+	if err != nil {
+		return Nil, &OutOfMemoryError{
+			RequestWords: n,
+			LiveWords:    rt.heap.LiveWords(),
+			HeapWords:    rt.heap.CapacityWords(),
+		}
+	}
+
+	// The paper: "Every allocation checks the flag to determine if it
+	// occurred within a region, and if it is, the allocated object is
+	// added to the queue."
+	if t.th.InRegion() {
+		t.th.RecordRegionAlloc(r)
+	}
+	t.th.CountAlloc()
+	return r, nil
+}
+
+// Allocs returns the number of allocations this thread performed.
+func (t *Thread) Allocs() uint64 {
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	return t.th.Allocs()
+}

@@ -1,0 +1,182 @@
+package cork
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jbb"
+	"repro/internal/report"
+)
+
+func TestDetectsJBBOrderTableLeak(t *testing.T) {
+	// The Jump & McKinley leak Cork originally found: Orders accumulate
+	// in the orderTable. The detector must flag the growing classes.
+	rt := core.New(core.Config{HeapWords: 1 << 20, Mode: core.Infrastructure})
+	b := jbb.New(rt, jbb.Config{LeakOrderTable: true, ClearLastOrder: true})
+	d := New(Config{})
+
+	for i := 0; i < 5; i++ {
+		b.RunTransactions(300)
+		if err := rt.GC(); err != nil {
+			t.Fatal(err)
+		}
+		d.Observe(rt)
+	}
+	cands := d.Candidates()
+	if len(cands) == 0 {
+		t.Fatal("no leak candidates on a leaking heap")
+	}
+	found := map[string]Candidate{}
+	for _, c := range cands {
+		found[c.Class] = c
+	}
+	order, ok := found["Order"]
+	if !ok {
+		t.Fatalf("Order not flagged; candidates: %v", cands)
+	}
+	// Type-level context only: the report names referencing classes.
+	joined := strings.Join(order.PointedFromClasses, ",")
+	if !strings.Contains(joined, "Object[]") {
+		t.Errorf("points-from context missing: %v", order.PointedFromClasses)
+	}
+	if !strings.Contains(order.String(), "Order: +") {
+		t.Errorf("report format: %s", order.String())
+	}
+}
+
+func TestNoCandidatesOnFixedJBB(t *testing.T) {
+	rt := core.New(core.Config{HeapWords: 1 << 20, Mode: core.Infrastructure})
+	b := jbb.New(rt, jbb.Config{ClearLastOrder: true})
+	d := New(Config{})
+	for i := 0; i < 5; i++ {
+		b.RunTransactions(300)
+		b.DrainOrders() // end-of-round batch delivery: true steady state
+		if err := rt.GC(); err != nil {
+			t.Fatal(err)
+		}
+		d.Observe(rt)
+	}
+	for _, c := range d.Candidates() {
+		t.Errorf("steady-state heap flagged: %s", c)
+	}
+}
+
+func TestGrowthWindowBreaksOnShrink(t *testing.T) {
+	rt := core.New(core.Config{HeapWords: 1 << 16, Mode: core.Infrastructure})
+	node := rt.DefineClass("Node")
+	th := rt.MainThread()
+	list := rt.AddGlobal("list")
+	arr := th.NewRefArray(100)
+	list.Set(arr)
+
+	d := New(Config{Window: 2, MinGrowthWords: 1})
+	n := 0
+	grow := func(k int) {
+		for i := 0; i < k; i++ {
+			rt.ArrSetRef(arr, n, th.New(node))
+			n++
+		}
+		rt.GC()
+		d.Observe(rt)
+	}
+	grow(10)
+	grow(10)
+	grow(10)
+	if len(d.Candidates()) == 0 {
+		t.Fatal("monotone growth not flagged")
+	}
+	// Shrink: clear half; the streak must break.
+	for i := 0; i < n; i++ {
+		rt.ArrSetRef(arr, i, core.Nil)
+	}
+	n = 0
+	rt.GC()
+	d.Observe(rt)
+	for _, c := range d.Candidates() {
+		if c.Class == "Node" {
+			t.Errorf("shrunk class still flagged: %s", c)
+		}
+	}
+}
+
+func TestCandidatesRankedByGrowth(t *testing.T) {
+	rt := core.New(core.Config{HeapWords: 1 << 17, Mode: core.Infrastructure})
+	big := rt.DefineClass("Big", core.DataField("a"), core.DataField("b"),
+		core.DataField("c"), core.DataField("d"))
+	small := rt.DefineClass("Small")
+	th := rt.MainThread()
+	arr := th.NewRefArray(600)
+	rt.AddGlobal("g").Set(arr)
+
+	d := New(Config{Window: 2, MinGrowthWords: 1})
+	n := 0
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 40; i++ {
+			rt.ArrSetRef(arr, n, th.New(big))
+			n++
+		}
+		for i := 0; i < 10; i++ {
+			rt.ArrSetRef(arr, n, th.New(small))
+			n++
+		}
+		rt.GC()
+		d.Observe(rt)
+	}
+	cands := d.Candidates()
+	if len(cands) < 2 {
+		t.Fatalf("candidates = %v", cands)
+	}
+	if cands[0].Class != "Big" {
+		t.Errorf("ranking wrong: %v", cands)
+	}
+}
+
+// The paper's contrast, as an executable statement: on the same leak, GC
+// assertions identify the offending *instances* with full heap paths,
+// while the Cork-style baseline names only growing *types*.
+func TestContrastWithAssertions(t *testing.T) {
+	rt := core.New(core.Config{HeapWords: 1 << 20, Mode: core.Infrastructure})
+	b := jbb.New(rt, jbb.Config{
+		LeakOrderTable:      true,
+		ClearLastOrder:      true,
+		AssertDeadOnDestroy: true,
+	})
+	d := New(Config{})
+	for i := 0; i < 5; i++ {
+		b.RunTransactions(300)
+		if err := rt.GC(); err != nil {
+			t.Fatal(err)
+		}
+		d.Observe(rt)
+	}
+
+	// Baseline: type-level only.
+	var corkSaysOrder bool
+	for _, c := range d.Candidates() {
+		if c.Class == "Order" {
+			corkSaysOrder = true
+			if len(c.PointedFromClasses) == 0 {
+				t.Error("no type context at all")
+			}
+		}
+	}
+	if !corkSaysOrder {
+		t.Fatal("baseline missed the leak entirely")
+	}
+
+	// Assertions: instance-level with a full path to a specific Order.
+	var exact *report.Violation
+	for _, v := range rt.Violations() {
+		if v.Kind == report.DeadReachable && v.Class == "Order" {
+			exact = v
+			break
+		}
+	}
+	if exact == nil {
+		t.Fatal("assertions missed the leak")
+	}
+	if exact.Object == core.Nil || len(exact.Path) < 3 {
+		t.Errorf("assertion report not instance-precise: %+v", exact)
+	}
+}

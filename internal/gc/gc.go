@@ -1,0 +1,175 @@
+// Package gc implements the stop-the-world collectors of the gcassert
+// runtime:
+//
+//   - MarkSweep is the paper's configuration: a full-heap free-list
+//     mark-sweep collector. In Base mode it runs the unmodified trace
+//     loop; in Infrastructure mode every collection runs the assertion
+//     machinery (ownership pre-phase, path-tracking root scan with
+//     piggybacked checks, instance-limit checks, table maintenance).
+//
+//   - Generational is a two-generation non-moving variant (nursery objects
+//     are promoted in place via a header bit, with a write-barrier-fed
+//     remembered set). It demonstrates the paper's caveat that assertions
+//     are only checked at full-heap collections.
+package gc
+
+import (
+	"time"
+
+	"repro/internal/assertions"
+	"repro/internal/classes"
+	"repro/internal/report"
+	"repro/internal/roots"
+	"repro/internal/trace"
+	"repro/internal/vmheap"
+)
+
+// Mode selects the collector configuration measured in the paper.
+type Mode uint8
+
+const (
+	// Base is the unmodified collector: no assertion infrastructure at
+	// all. Assertions cannot be used in this mode.
+	Base Mode = iota
+	// Infrastructure enables the assertion machinery: path-tracking
+	// trace loop and per-object checks, whether or not any assertions
+	// are registered. This is the paper's "Infrastructure"
+	// configuration; registering assertions on top of it yields the
+	// "WithAssertions" configuration.
+	Infrastructure
+)
+
+// String returns the configuration name used in the paper's figures.
+func (m Mode) String() string {
+	if m == Base {
+		return "Base"
+	}
+	return "Infrastructure"
+}
+
+// Stats accumulates collector activity over a runtime's lifetime.
+type Stats struct {
+	Collections      uint64 // all collections
+	FullCollections  uint64 // full-heap (major) collections
+	MinorCollections uint64
+
+	GCTime     time.Duration // total stop-the-world time
+	FullGCTime time.Duration
+
+	MarkedObjects uint64 // cumulative objects marked
+	FreedObjects  uint64
+	FreedWords    uint64
+
+	// Trace totals accumulated across collections (assertion check
+	// counters live here: dead hits, ownees checked, ...).
+	Trace trace.Stats
+
+	// LastLiveWords is the live heap size after the most recent
+	// collection (used by the harness for heap-sizing calibration).
+	LastLiveWords uint64
+}
+
+// addTrace folds one collection's trace counters into the totals.
+func (s *Stats) addTrace(t trace.Stats) {
+	s.Trace.Visited += t.Visited
+	s.Trace.RefsScanned += t.RefsScanned
+	s.Trace.DeadHits += t.DeadHits
+	s.Trace.SharedHits += t.SharedHits
+	s.Trace.OwneesChecked += t.OwneesChecked
+	s.Trace.ForcedRefs += t.ForcedRefs
+}
+
+// Collector is the interface the runtime drives. Collect performs whatever
+// collection the policy calls for (for MarkSweep, always full); CollectFull
+// forces a full-heap collection, which is the only kind that checks
+// assertions. WriteBarrier must be called by the runtime on every reference
+// store.
+type Collector interface {
+	Collect() error
+	CollectFull() error
+	WriteBarrier(parent vmheap.Ref)
+	Stats() *Stats
+	// Name identifies the collector in harness output.
+	Name() string
+}
+
+// MarkSweep is the full-heap mark-sweep collector the paper evaluates.
+type MarkSweep struct {
+	heap   *vmheap.Heap
+	tracer *trace.Tracer
+	engine *assertions.Engine // nil in Base mode
+	roots  roots.Source
+	mode   Mode
+	stats  Stats
+}
+
+// NewMarkSweep creates the collector. engine must be nil exactly when mode
+// is Base.
+func NewMarkSweep(h *vmheap.Heap, reg *classes.Registry, src roots.Source, mode Mode, engine *assertions.Engine) *MarkSweep {
+	if (mode == Base) != (engine == nil) {
+		panic("gc: engine presence must match mode")
+	}
+	return &MarkSweep{
+		heap:   h,
+		tracer: trace.New(h, reg),
+		engine: engine,
+		roots:  src,
+		mode:   mode,
+	}
+}
+
+// Name implements Collector.
+func (c *MarkSweep) Name() string { return "MarkSweep" }
+
+// Stats implements Collector.
+func (c *MarkSweep) Stats() *Stats { return &c.stats }
+
+// WriteBarrier is a no-op for a non-generational collector.
+func (c *MarkSweep) WriteBarrier(vmheap.Ref) {}
+
+// Collect implements Collector: every MarkSweep collection is full-heap.
+func (c *MarkSweep) Collect() error { return c.CollectFull() }
+
+// CollectFull performs one full collection.
+func (c *MarkSweep) CollectFull() error {
+	start := time.Now()
+	c.tracer.Reset()
+
+	var sweepClear uint64
+	if c.mode == Infrastructure {
+		c.engine.BeginCycle()
+		c.tracer.SetChecks(c.engine.Checks())
+		if ph := c.engine.OwnershipPhase(); ph != nil {
+			c.tracer.RunOwnershipPhase(ph)
+		}
+		c.tracer.TraceInfra(c.roots)
+		c.engine.CheckInstanceLimits()
+		c.engine.PreSweep(func(r vmheap.Ref) bool {
+			return c.heap.Flags(r, vmheap.FlagMark) != 0
+		})
+		sweepClear = c.engine.SweepFlags()
+	} else {
+		c.tracer.TraceBase(c.roots)
+	}
+
+	sw := c.heap.Sweep(vmheap.SweepOptions{ClearFlags: sweepClear})
+
+	elapsed := time.Since(start)
+	ts := c.tracer.Stats()
+	c.stats.Collections++
+	c.stats.FullCollections++
+	c.stats.GCTime += elapsed
+	c.stats.FullGCTime += elapsed
+	c.stats.MarkedObjects += ts.Visited
+	c.stats.FreedObjects += sw.FreedObjects
+	c.stats.FreedWords += sw.FreedWords
+	c.stats.LastLiveWords = sw.LiveWords
+	c.stats.addTrace(ts)
+
+	if c.mode == Infrastructure {
+		if v := c.engine.Halted(); v != nil {
+			return &report.HaltError{Violation: v}
+		}
+	}
+	return nil
+}

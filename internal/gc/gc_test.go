@@ -1,0 +1,298 @@
+package gc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/assertions"
+	"repro/internal/classes"
+	"repro/internal/report"
+	"repro/internal/roots"
+	"repro/internal/threads"
+	"repro/internal/trace"
+	"repro/internal/vmheap"
+)
+
+// world is a collector test fixture at the gc-package level.
+type world struct {
+	h    *vmheap.Heap
+	reg  *classes.Registry
+	ts   *threads.Set
+	gl   *roots.Table
+	rec  *report.Recorder
+	eng  *assertions.Engine
+	node *classes.Class
+	next uint32
+}
+
+func newWorld(t testing.TB, mode Mode) *world {
+	t.Helper()
+	w := &world{
+		h:   vmheap.New(1 << 13),
+		reg: classes.NewRegistry(),
+		ts:  threads.NewSet(),
+		gl:  roots.NewTable(),
+		rec: &report.Recorder{},
+	}
+	w.node = w.reg.MustDefine("Node", nil,
+		classes.Field{Name: "next", Kind: classes.RefKind})
+	w.next = uint32(w.node.MustFieldIndex("next"))
+	if mode == Infrastructure {
+		w.eng = assertions.New(w.h, w.reg, w.ts, w.rec)
+	}
+	return w
+}
+
+func (w *world) src() roots.Source { return roots.Multi{w.gl, w.ts} }
+
+func (w *world) alloc(t testing.TB) vmheap.Ref {
+	t.Helper()
+	r, err := w.h.Alloc(vmheap.KindScalar, w.node.ID, w.node.FieldWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMarkSweepBaseCollects(t *testing.T) {
+	w := newWorld(t, Base)
+	c := NewMarkSweep(w.h, w.reg, w.src(), Base, nil)
+
+	live := w.alloc(t)
+	w.alloc(t) // garbage
+	w.gl.Add("r").Set(live)
+
+	if err := c.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Collections != 1 || st.FullCollections != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.FreedObjects != 1 {
+		t.Errorf("FreedObjects = %d", st.FreedObjects)
+	}
+	if st.MarkedObjects != 1 {
+		t.Errorf("MarkedObjects = %d", st.MarkedObjects)
+	}
+	if st.GCTime <= 0 {
+		t.Error("no GC time recorded")
+	}
+	if st.LastLiveWords != uint64(w.h.LiveWords()) {
+		t.Error("LastLiveWords out of sync")
+	}
+	if c.Name() != "MarkSweep" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestMarkSweepModeEngineMismatch(t *testing.T) {
+	w := newWorld(t, Infrastructure)
+	assertPanics(t, func() { NewMarkSweep(w.h, w.reg, w.src(), Base, w.eng) })
+	assertPanics(t, func() { NewMarkSweep(w.h, w.reg, w.src(), Infrastructure, nil) })
+	assertPanics(t, func() { NewGenerational(w.h, w.reg, w.src(), Base, w.eng) })
+}
+
+func assertPanics(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	fn()
+}
+
+func TestMarkSweepHaltPropagates(t *testing.T) {
+	w := newWorld(t, Infrastructure)
+	w.rec.Respond = func(*report.Violation) report.Action { return report.Halt }
+	c := NewMarkSweep(w.h, w.reg, w.src(), Infrastructure, w.eng)
+
+	obj := w.alloc(t)
+	w.gl.Add("r").Set(obj)
+	if err := w.eng.AssertDead(obj); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Collect()
+	var halt *report.HaltError
+	if !errors.As(err, &halt) {
+		t.Fatalf("err = %v", err)
+	}
+	// The cycle completed: heap consistent, stats recorded.
+	if c.Stats().Collections != 1 {
+		t.Error("halted collection not counted")
+	}
+}
+
+func TestMarkSweepChecksAssertionsEachCycle(t *testing.T) {
+	w := newWorld(t, Infrastructure)
+	c := NewMarkSweep(w.h, w.reg, w.src(), Infrastructure, w.eng)
+	obj := w.alloc(t)
+	w.gl.Add("r").Set(obj)
+	w.eng.AssertDead(obj)
+	for i := 0; i < 3; i++ {
+		if err := c.Collect(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(w.rec.Violations); got != 3 {
+		t.Errorf("violations = %d, want 3 (one per cycle)", got)
+	}
+	if c.Stats().Trace.DeadHits < 3 {
+		t.Errorf("DeadHits = %d", c.Stats().Trace.DeadHits)
+	}
+}
+
+func TestMarkSweepOwnershipPhase(t *testing.T) {
+	w := newWorld(t, Infrastructure)
+	c := NewMarkSweep(w.h, w.reg, w.src(), Infrastructure, w.eng)
+
+	owner := w.alloc(t)
+	ownee := w.alloc(t)
+	w.h.SetRefAt(owner, w.next, ownee)
+	w.gl.Add("owner").Set(owner)
+	w.eng.AssertOwnedBy(owner, ownee)
+
+	if err := c.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.rec.Violations) != 0 {
+		t.Errorf("clean ownership violated: %v", w.rec.Violations)
+	}
+	if c.Stats().Trace.OwneesChecked == 0 {
+		t.Error("ownership phase did not run")
+	}
+	// The owned bit must be cleared between cycles (recomputed each GC).
+	if w.h.Flags(ownee, vmheap.FlagOwned) != 0 {
+		t.Error("owned bit survived the sweep")
+	}
+}
+
+func TestGenerationalPolicyEscalation(t *testing.T) {
+	w := newWorld(t, Base)
+	c := NewGenerational(w.h, w.reg, w.src(), Base, nil)
+	c.MajorEvery = 2
+	c.MinorFloor = -1 // only the counter policy
+
+	// Build a rooted chain so survivors exist.
+	head := w.alloc(t)
+	w.gl.Add("r").Set(head)
+
+	for i := 0; i < 3; i++ {
+		if err := c.Collect(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.MinorCollections != 2 || st.FullCollections != 1 {
+		t.Errorf("minor=%d full=%d, want 2/1", st.MinorCollections, st.FullCollections)
+	}
+}
+
+func TestGenerationalMinorFloorEscalation(t *testing.T) {
+	w := newWorld(t, Base)
+	c := NewGenerational(w.h, w.reg, w.src(), Base, nil)
+	c.MajorEvery = 1000
+	c.MinorFloor = 2.0 // impossible: every minor escalates
+
+	if err := c.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().FullCollections != 1 {
+		t.Error("floor policy did not escalate")
+	}
+}
+
+func TestGenerationalPromotion(t *testing.T) {
+	w := newWorld(t, Base)
+	c := NewGenerational(w.h, w.reg, w.src(), Base, nil)
+	obj := w.alloc(t)
+	w.gl.Add("r").Set(obj)
+	if err := c.CollectFull(); err != nil {
+		t.Fatal(err)
+	}
+	if w.h.Flags(obj, vmheap.FlagMature) == 0 {
+		t.Error("survivor not promoted")
+	}
+	if c.Name() != "Generational" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestGenerationalWriteBarrierDedupe(t *testing.T) {
+	w := newWorld(t, Base)
+	c := NewGenerational(w.h, w.reg, w.src(), Base, nil)
+	mature := w.alloc(t)
+	w.gl.Add("r").Set(mature)
+	c.CollectFull() // promote
+
+	c.WriteBarrier(mature)
+	c.WriteBarrier(mature) // second store: deduped by FlagRemember
+	if len(c.remembered) != 1 {
+		t.Errorf("remembered set = %d entries, want 1", len(c.remembered))
+	}
+	c.WriteBarrier(vmheap.Nil) // must not panic
+
+	young := w.alloc(t)
+	c.WriteBarrier(young) // immature parents are not remembered
+	if len(c.remembered) != 1 {
+		t.Error("immature object remembered")
+	}
+
+	// A minor collection clears the set and the flag.
+	if err := c.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.remembered) != 0 {
+		t.Error("remembered set not dropped")
+	}
+	if w.h.Flags(mature, vmheap.FlagRemember) != 0 {
+		t.Error("remember flag not cleared")
+	}
+}
+
+func TestGenerationalMinorKeepsBarrieredYoung(t *testing.T) {
+	w := newWorld(t, Base)
+	c := NewGenerational(w.h, w.reg, w.src(), Base, nil)
+	mature := w.alloc(t)
+	w.gl.Add("r").Set(mature)
+	c.CollectFull()
+
+	young := w.alloc(t)
+	c.WriteBarrier(mature)
+	w.h.SetRefAt(mature, w.next, young)
+
+	if err := c.Collect(); err != nil { // minor
+		t.Fatal(err)
+	}
+	if !w.h.IsObject(young) {
+		t.Error("barriered young object swept by minor GC")
+	}
+	if w.h.Flags(young, vmheap.FlagMature) == 0 {
+		t.Error("minor survivor not promoted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Base.String() != "Base" || Infrastructure.String() != "Infrastructure" {
+		t.Error("mode strings wrong")
+	}
+}
+
+func TestStatsAddTrace(t *testing.T) {
+	var s Stats
+	s.addTrace(traceStatsForTest(1, 2, 3, 4, 5, 6))
+	s.addTrace(traceStatsForTest(1, 2, 3, 4, 5, 6))
+	if s.Trace.Visited != 2 || s.Trace.RefsScanned != 4 || s.Trace.DeadHits != 6 ||
+		s.Trace.SharedHits != 8 || s.Trace.OwneesChecked != 10 || s.Trace.ForcedRefs != 12 {
+		t.Errorf("accumulated = %+v", s.Trace)
+	}
+}
+
+// traceStatsForTest builds a trace.Stats literal without importing its
+// field names at every call site.
+func traceStatsForTest(v, r, d, s, o, f uint64) (ts trace.Stats) {
+	ts.Visited, ts.RefsScanned, ts.DeadHits = v, r, d
+	ts.SharedHits, ts.OwneesChecked, ts.ForcedRefs = s, o, f
+	return
+}

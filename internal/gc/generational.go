@@ -1,0 +1,193 @@
+package gc
+
+import (
+	"time"
+
+	"repro/internal/assertions"
+	"repro/internal/classes"
+	"repro/internal/report"
+	"repro/internal/roots"
+	"repro/internal/trace"
+	"repro/internal/vmheap"
+)
+
+// Generational is a two-generation, non-moving mark-sweep collector.
+// Objects are born immature; a minor collection traces only the immature
+// population (from the roots plus a remembered set) and promotes survivors
+// in place by setting the mature header bit. A major collection is a full
+// MarkSweep cycle over both generations.
+//
+// Assertions are checked only at major collections. The paper calls this
+// out as the cost of using a generational collector: "A generational
+// collector, however, performs full-heap collections infrequently, allowing
+// some assertions to go unchecked for long periods of time." The
+// BenchmarkAblationGenerational bench quantifies that detection latency.
+type Generational struct {
+	heap   *vmheap.Heap
+	tracer *trace.Tracer
+	engine *assertions.Engine // nil in Base mode
+	roots  roots.Source
+	mode   Mode
+	stats  Stats
+
+	// remembered holds mature objects that may reference immature ones;
+	// FlagRemember on the object dedupes insertions.
+	remembered []vmheap.Ref
+
+	// MajorEvery forces a major collection after this many consecutive
+	// minors (default 4).
+	MajorEvery int
+	// MinorFloor: when a minor collection frees less than this fraction
+	// of the heap, the next collection is major (default 0.10).
+	MinorFloor float64
+
+	minorsSinceMajor int
+}
+
+// NewGenerational creates the collector. engine must be nil exactly when
+// mode is Base.
+func NewGenerational(h *vmheap.Heap, reg *classes.Registry, src roots.Source, mode Mode, engine *assertions.Engine) *Generational {
+	if (mode == Base) != (engine == nil) {
+		panic("gc: engine presence must match mode")
+	}
+	return &Generational{
+		heap:       h,
+		tracer:     trace.New(h, reg),
+		engine:     engine,
+		roots:      src,
+		mode:       mode,
+		MajorEvery: 4,
+		MinorFloor: 0.10,
+	}
+}
+
+// Name implements Collector.
+func (c *Generational) Name() string { return "Generational" }
+
+// Stats implements Collector.
+func (c *Generational) Stats() *Stats { return &c.stats }
+
+// WriteBarrier records a mature object into the remembered set the first
+// time a reference is stored into it. Object-granularity remembering is
+// conservative (the object may point only at mature children) but sound.
+func (c *Generational) WriteBarrier(parent vmheap.Ref) {
+	if parent == vmheap.Nil {
+		return
+	}
+	h := c.heap.Header(parent)
+	if h&vmheap.FlagMature == 0 || h&vmheap.FlagRemember != 0 {
+		return
+	}
+	c.heap.SetFlags(parent, vmheap.FlagRemember)
+	c.remembered = append(c.remembered, parent)
+}
+
+// Collect implements Collector: minor by default, escalating to major per
+// policy.
+func (c *Generational) Collect() error {
+	if c.minorsSinceMajor >= c.MajorEvery {
+		return c.CollectFull()
+	}
+	freedBefore := c.stats.FreedWords
+	if err := c.collectMinor(); err != nil {
+		return err
+	}
+	freed := c.stats.FreedWords - freedBefore
+	if float64(freed) < c.MinorFloor*float64(c.heap.CapacityWords()) {
+		return c.CollectFull()
+	}
+	return nil
+}
+
+// collectMinor traces and sweeps the immature generation only. No
+// assertion checks run.
+func (c *Generational) collectMinor() error {
+	start := time.Now()
+	c.tracer.Reset()
+	c.tracer.TraceMinor(c.roots, c.remembered)
+
+	// Even though minor collections check nothing, the engine's tables
+	// must not keep references to reclaimed nursery objects.
+	if c.engine != nil {
+		c.engine.PreSweep(func(r vmheap.Ref) bool {
+			return c.heap.Flags(r, vmheap.FlagMark|vmheap.FlagMature) != 0
+		})
+	}
+
+	c.dropRememberedSet()
+	sw := c.heap.Sweep(vmheap.SweepOptions{
+		Immature: true,
+		SetFlags: vmheap.FlagMature, // promote survivors in place
+	})
+
+	elapsed := time.Since(start)
+	ts := c.tracer.Stats()
+	c.stats.Collections++
+	c.stats.MinorCollections++
+	c.stats.GCTime += elapsed
+	c.stats.MarkedObjects += ts.Visited
+	c.stats.FreedObjects += sw.FreedObjects
+	c.stats.FreedWords += sw.FreedWords
+	c.stats.LastLiveWords = sw.LiveWords
+	c.stats.addTrace(ts)
+	c.minorsSinceMajor++
+	return nil
+}
+
+// CollectFull performs a major (full-heap) collection with assertion
+// checking, and promotes all survivors.
+func (c *Generational) CollectFull() error {
+	start := time.Now()
+	c.tracer.Reset()
+
+	sweepSet := vmheap.FlagMature
+	var sweepClear uint64
+	if c.mode == Infrastructure {
+		c.engine.BeginCycle()
+		c.tracer.SetChecks(c.engine.Checks())
+		if ph := c.engine.OwnershipPhase(); ph != nil {
+			c.tracer.RunOwnershipPhase(ph)
+		}
+		c.tracer.TraceInfra(c.roots)
+		c.engine.CheckInstanceLimits()
+		c.engine.PreSweep(func(r vmheap.Ref) bool {
+			return c.heap.Flags(r, vmheap.FlagMark) != 0
+		})
+		sweepClear = c.engine.SweepFlags()
+	} else {
+		c.tracer.TraceBase(c.roots)
+	}
+
+	c.dropRememberedSet()
+	sw := c.heap.Sweep(vmheap.SweepOptions{ClearFlags: sweepClear, SetFlags: sweepSet})
+
+	elapsed := time.Since(start)
+	ts := c.tracer.Stats()
+	c.stats.Collections++
+	c.stats.FullCollections++
+	c.stats.GCTime += elapsed
+	c.stats.FullGCTime += elapsed
+	c.stats.MarkedObjects += ts.Visited
+	c.stats.FreedObjects += sw.FreedObjects
+	c.stats.FreedWords += sw.FreedWords
+	c.stats.LastLiveWords = sw.LiveWords
+	c.stats.addTrace(ts)
+	c.minorsSinceMajor = 0
+
+	if c.mode == Infrastructure {
+		if v := c.engine.Halted(); v != nil {
+			return &report.HaltError{Violation: v}
+		}
+	}
+	return nil
+}
+
+// dropRememberedSet clears the remembered set: after any collection every
+// survivor is mature, so no mature-to-immature edges remain. It must run
+// before the sweep, while every entry still points at a valid header.
+func (c *Generational) dropRememberedSet() {
+	for _, r := range c.remembered {
+		c.heap.ClearFlags(r, vmheap.FlagRemember)
+	}
+	c.remembered = c.remembered[:0]
+}

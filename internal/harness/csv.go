@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits the raw measurements behind a set of figure rows in
+// machine-readable form: one record per benchmark x configuration, with
+// means, confidence intervals, and the per-GC ownee-check count.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"benchmark", "config",
+		"total_mean_s", "total_ci90_s",
+		"gc_mean_s", "gc_ci90_s",
+		"mutator_mean_s",
+		"trials", "collections", "ownees_per_gc", "violations",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	emit := func(name string, m Measurement) error {
+		return cw.Write([]string{
+			name, m.Config,
+			fmt.Sprintf("%.6f", m.Total.Mean),
+			fmt.Sprintf("%.6f", m.Total.CI90),
+			fmt.Sprintf("%.6f", m.GC.Mean),
+			fmt.Sprintf("%.6f", m.GC.CI90),
+			fmt.Sprintf("%.6f", m.Mutator.Mean),
+			fmt.Sprintf("%d", m.Total.N),
+			fmt.Sprintf("%d", m.Collections),
+			fmt.Sprintf("%d", m.OwneesChecked),
+			fmt.Sprintf("%d", m.Violations),
+		})
+	}
+	for _, r := range rows {
+		if err := emit(r.Name, r.Base); err != nil {
+			return err
+		}
+		if err := emit(r.Name, r.Infra); err != nil {
+			return err
+		}
+		if r.WithAsserts != nil {
+			if err := emit(r.Name, *r.WithAsserts); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

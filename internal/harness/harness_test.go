@@ -1,0 +1,203 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6})
+	if s.N != 3 || s.Mean != 4 {
+		t.Errorf("sample = %+v", s)
+	}
+	if math.Abs(s.Std-2) > 1e-9 {
+		t.Errorf("std = %f, want 2", s.Std)
+	}
+	// df=2 -> t=2.920; CI = 2.920*2/sqrt(3)
+	want := 2.920 * 2 / math.Sqrt(3)
+	if math.Abs(s.CI90-want) > 1e-9 {
+		t.Errorf("CI90 = %f, want %f", s.CI90, want)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Error("empty sample not zero")
+	}
+	s := Summarize([]float64{5})
+	if s.Mean != 5 || s.CI90 != 0 {
+		t.Errorf("single sample = %+v", s)
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	s := SummarizeDurations([]time.Duration{time.Second, 3 * time.Second})
+	if s.Mean != 2 {
+		t.Errorf("mean = %f", s.Mean)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-9 {
+		t.Errorf("geomean = %f, want 10", g)
+	}
+	if g := GeoMean([]float64{100, 100, 100}); math.Abs(g-100) > 1e-9 {
+		t.Errorf("geomean = %f", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("empty geomean = %f", g)
+	}
+	if g := GeoMean([]float64{0, -1}); g != 0 {
+		t.Errorf("non-positive geomean = %f", g)
+	}
+}
+
+func smallRC() RunConfig { return RunConfig{Warmup: 1, Measure: 1, Trials: 2} }
+
+func TestMeasureWorkloadSubject(t *testing.T) {
+	f := workloads.ByName("jython")
+	if f == nil {
+		t.Fatal("jython missing")
+	}
+	m := Measure(workloadSubject(f, core.Base), smallRC())
+	if m.Config != "Base" {
+		t.Errorf("config = %q", m.Config)
+	}
+	if m.Total.Mean <= 0 {
+		t.Error("no time measured")
+	}
+	if m.Total.Mean < m.GC.Mean {
+		t.Error("GC time exceeds total")
+	}
+}
+
+func TestMeasureAppSubjects(t *testing.T) {
+	for _, s := range []Subject{
+		DBSubject(core.Infrastructure, false),
+		JBBSubject(core.Infrastructure, false),
+	} {
+		m := Measure(s, smallRC())
+		if m.Total.Mean <= 0 {
+			t.Errorf("%s: no time measured", s.Name)
+		}
+		if m.Violations != 0 {
+			t.Errorf("%s: clean subject reported %d violations", s.Name, m.Violations)
+		}
+	}
+}
+
+func TestWithAssertionsSubjectsClean(t *testing.T) {
+	for _, s := range []Subject{
+		DBSubject(core.Infrastructure, true),
+		JBBSubject(core.Infrastructure, true),
+	} {
+		m := Measure(s, smallRC())
+		if m.Config != "WithAssertions" {
+			t.Errorf("config = %q", m.Config)
+		}
+		if m.Violations != 0 {
+			t.Errorf("%s: repaired subject reported %d violations", s.Name, m.Violations)
+		}
+	}
+	// The db subject must actually check ownees each GC.
+	m := Measure(DBSubject(core.Infrastructure, true), smallRC())
+	if m.OwneesChecked == 0 {
+		t.Error("db WithAssertions checked no ownees")
+	}
+}
+
+func TestMeasureInterleaved(t *testing.T) {
+	subjects := []Subject{
+		JBBSubject(core.Base, false),
+		JBBSubject(core.Infrastructure, true),
+	}
+	ms := MeasureInterleaved(subjects, smallRC())
+	if len(ms) != 2 {
+		t.Fatalf("measurements = %d", len(ms))
+	}
+	if ms[0].Config != "Base" || ms[1].Config != "WithAssertions" {
+		t.Errorf("configs = %q, %q", ms[0].Config, ms[1].Config)
+	}
+	for _, m := range ms {
+		if m.Total.N != smallRC().Trials {
+			t.Errorf("%s/%s: trials = %d", m.Name, m.Config, m.Total.N)
+		}
+	}
+}
+
+func TestFigureFormatting(t *testing.T) {
+	rows := []Row{{
+		Name:  "demo",
+		Base:  Measurement{Name: "demo", Config: "Base", Total: Summarize([]float64{1}), GC: Summarize([]float64{0.1}), Mutator: Summarize([]float64{0.9})},
+		Infra: Measurement{Name: "demo", Config: "Infrastructure", Total: Summarize([]float64{1.03}), GC: Summarize([]float64{0.115}), Mutator: Summarize([]float64{0.915})},
+	}}
+	wa := Measurement{Config: "WithAssertions", Total: Summarize([]float64{1.02}), GC: Summarize([]float64{0.15}), OwneesChecked: 15274}
+	rows45 := []Row{{Name: "db", Base: rows[0].Base, Infra: rows[0].Infra, WithAsserts: &wa}}
+
+	f2 := FormatFig2(rows)
+	if !strings.Contains(f2, "demo") || !strings.Contains(f2, "geomean") || !strings.Contains(f2, "103.0") {
+		t.Errorf("fig2:\n%s", f2)
+	}
+	f3 := FormatFig3(rows)
+	if !strings.Contains(f3, "115.0") {
+		t.Errorf("fig3:\n%s", f3)
+	}
+	f4 := FormatFig4(rows45)
+	if !strings.Contains(f4, "102.0") || !strings.Contains(f4, "15274") {
+		t.Errorf("fig4:\n%s", f4)
+	}
+	f5 := FormatFig5(rows45)
+	if !strings.Contains(f5, "150.0") {
+		t.Errorf("fig5:\n%s", f5)
+	}
+}
+
+func TestRunFig45Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement run")
+	}
+	rows := RunFig45(smallRC(), nil)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.WithAsserts == nil {
+			t.Fatalf("%s: missing WithAssertions", r.Name)
+		}
+		// The assertion configurations must actually do ownership work.
+		if r.WithAsserts.OwneesChecked == 0 {
+			t.Errorf("%s: no ownees checked", r.Name)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	wa := Measurement{Config: "WithAssertions", Total: Summarize([]float64{1.02}),
+		GC: Summarize([]float64{0.15}), OwneesChecked: 15274}
+	rows := []Row{{
+		Name:        "db",
+		Base:        Measurement{Config: "Base", Total: Summarize([]float64{1, 1.1})},
+		Infra:       Measurement{Config: "Infrastructure", Total: Summarize([]float64{1.05})},
+		WithAsserts: &wa,
+	}}
+	var b strings.Builder
+	if err := WriteCSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Count(out, "\n")
+	if lines != 4 { // header + 3 configs
+		t.Errorf("CSV lines = %d:\n%s", lines, out)
+	}
+	if !strings.Contains(out, "db,WithAssertions") || !strings.Contains(out, "15274") {
+		t.Errorf("CSV content:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "benchmark,config,") {
+		t.Errorf("CSV header:\n%s", out)
+	}
+}

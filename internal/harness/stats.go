@@ -1,0 +1,84 @@
+// Package harness measures the Base / Infrastructure / WithAssertions
+// configurations of the paper's Figures 2-5 and renders figure-style
+// tables: per-benchmark normalized execution and GC times with geometric
+// means and 90% confidence intervals (the paper's methodology: fixed heap
+// at twice the minimum live size, warmup iterations discarded, repeated
+// trials).
+package harness
+
+import (
+	"math"
+	"time"
+)
+
+// tValue90 holds two-sided 90% Student-t critical values by degrees of
+// freedom (df 1..30); beyond 30 the normal approximation 1.645 is used.
+var tValue90 = []float64{
+	0, 6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833,
+	1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729,
+	1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+}
+
+// Sample summarizes repeated measurements.
+type Sample struct {
+	N    int
+	Mean float64
+	Std  float64
+	// CI90 is the half-width of the 90% confidence interval of the mean.
+	CI90 float64
+}
+
+// Summarize computes a Sample from raw values.
+func Summarize(values []float64) Sample {
+	n := len(values)
+	if n == 0 {
+		return Sample{}
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, v := range values {
+		d := v - mean
+		ss += d * d
+	}
+	s := Sample{N: n, Mean: mean}
+	if n > 1 {
+		s.Std = math.Sqrt(ss / float64(n-1))
+		df := n - 1
+		t := 1.645
+		if df < len(tValue90) {
+			t = tValue90[df]
+		}
+		s.CI90 = t * s.Std / math.Sqrt(float64(n))
+	}
+	return s
+}
+
+// SummarizeDurations converts to seconds before summarizing.
+func SummarizeDurations(ds []time.Duration) Sample {
+	vals := make([]float64, len(ds))
+	for i, d := range ds {
+		vals[i] = d.Seconds()
+	}
+	return Summarize(vals)
+}
+
+// GeoMean returns the geometric mean of positive values (zero or negative
+// values are skipped, matching how the paper's normalized ratios behave).
+func GeoMean(values []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, v := range values {
+		if v > 0 {
+			logSum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}

@@ -1,0 +1,185 @@
+// Package heapdot renders managed-heap object graphs and violation paths
+// in Graphviz DOT form. The paper's reporting gives the programmer one
+// path through the heap; a picture of the neighbourhood around the
+// offending object is the natural next step when that path alone does not
+// explain the bug.
+package heapdot
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// Options controls graph extraction.
+type Options struct {
+	// MaxObjects bounds the emitted graph (breadth-first from the
+	// starting points); 0 means 256.
+	MaxObjects int
+	// Highlight marks these objects (violation objects, typically) in
+	// red.
+	Highlight []core.Ref
+}
+
+func (o Options) maxObjects() int {
+	if o.MaxObjects <= 0 {
+		return 256
+	}
+	return o.MaxObjects
+}
+
+// WriteReachable writes the object graph reachable from the given start
+// objects as a DOT digraph.
+func WriteReachable(w io.Writer, rt *core.Runtime, starts []core.Ref, opts Options) error {
+	g := newGraph(rt, opts)
+	for _, s := range starts {
+		g.visit(s)
+	}
+	return g.write(w, "heap")
+}
+
+// WriteViolation writes the violation's path as a DOT digraph: the chain
+// of objects from the root to the offending object, each expanded with its
+// immediate out-edges for context, offender highlighted.
+func WriteViolation(w io.Writer, rt *core.Runtime, v *report.Violation, opts Options) error {
+	if v.Object != core.Nil {
+		opts.Highlight = append(opts.Highlight, v.Object)
+	}
+	g := newGraph(rt, opts)
+	for _, e := range v.Path {
+		g.visitShallow(e.Ref)
+	}
+	// Ensure the path edges themselves are present even if the objects'
+	// field scan was truncated by MaxObjects.
+	for i := 0; i+1 < len(v.Path); i++ {
+		g.addEdge(v.Path[i].Ref, v.Path[i+1].Ref)
+	}
+	return g.write(w, sanitize(v.Kind.String()))
+}
+
+// graph accumulates nodes and edges.
+type graph struct {
+	rt        *core.Runtime
+	opts      Options
+	nodes     map[core.Ref]string // ref -> label
+	edges     map[[2]core.Ref]bool
+	highlight map[core.Ref]bool
+}
+
+func newGraph(rt *core.Runtime, opts Options) *graph {
+	g := &graph{
+		rt:        rt,
+		opts:      opts,
+		nodes:     map[core.Ref]string{},
+		edges:     map[[2]core.Ref]bool{},
+		highlight: map[core.Ref]bool{},
+	}
+	for _, r := range opts.Highlight {
+		g.highlight[r] = true
+	}
+	return g
+}
+
+func (g *graph) addNode(r core.Ref) bool {
+	if r == core.Nil {
+		return false
+	}
+	if _, ok := g.nodes[r]; ok {
+		return true
+	}
+	if len(g.nodes) >= g.opts.maxObjects() {
+		return false
+	}
+	g.nodes[r] = fmt.Sprintf("%s@%d", g.rt.ClassOf(r).Name, r)
+	return true
+}
+
+func (g *graph) addEdge(from, to core.Ref) {
+	if g.addNode(from) && g.addNode(to) {
+		g.edges[[2]core.Ref{from, to}] = true
+	}
+}
+
+// visit adds r and everything reachable from it, breadth-first, up to the
+// object budget.
+func (g *graph) visit(start core.Ref) {
+	if start == core.Nil || !g.addNode(start) {
+		return
+	}
+	queue := []core.Ref{start}
+	seen := map[core.Ref]bool{start: true}
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		for _, c := range g.rt.OutEdges(r) {
+			g.addEdge(r, c)
+			if _, shown := g.nodes[c]; shown && !seen[c] {
+				seen[c] = true
+				queue = append(queue, c)
+			}
+		}
+	}
+}
+
+// visitShallow adds r and its immediate out-edges only.
+func (g *graph) visitShallow(r core.Ref) {
+	if !g.addNode(r) {
+		return
+	}
+	for _, c := range g.rt.OutEdges(r) {
+		g.addEdge(r, c)
+	}
+}
+
+// write emits the accumulated graph.
+func (g *graph) write(w io.Writer, name string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+
+	refs := make([]core.Ref, 0, len(g.nodes))
+	for r := range g.nodes {
+		refs = append(refs, r)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
+	for _, r := range refs {
+		attr := ""
+		if g.highlight[r] {
+			attr = ", color=red, penwidth=2"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q%s];\n", r, g.nodes[r], attr)
+	}
+
+	keys := make([][2]core.Ref, 0, len(g.edges))
+	for e := range g.edges {
+		keys = append(keys, e)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, e := range keys {
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sanitize makes a string safe as a DOT graph name.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

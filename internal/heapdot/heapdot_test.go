@@ -1,0 +1,121 @@
+package heapdot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// world builds a small linked structure: root -> mid -> leaf, plus an
+// array.
+func world(t *testing.T) (*core.Runtime, core.Ref, core.Ref, core.Ref) {
+	t.Helper()
+	rt := core.New(core.Config{HeapWords: 1 << 12, Mode: core.Infrastructure})
+	node := rt.DefineClass("Node", core.RefField("next"))
+	next := node.MustFieldIndex("next")
+	th := rt.MainThread()
+	root := th.New(node)
+	mid := th.New(node)
+	leaf := th.New(node)
+	rt.SetRef(root, next, mid)
+	rt.SetRef(mid, next, leaf)
+	rt.AddGlobal("r").Set(root)
+	return rt, root, mid, leaf
+}
+
+func TestWriteReachable(t *testing.T) {
+	rt, root, mid, leaf := world(t)
+	var b strings.Builder
+	if err := WriteReachable(&b, rt, []core.Ref{root}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	dot := b.String()
+	for _, r := range []core.Ref{root, mid, leaf} {
+		if !strings.Contains(dot, nodeID(r)) {
+			t.Errorf("missing node %d in:\n%s", r, dot)
+		}
+	}
+	if !strings.Contains(dot, nodeID(root)+" -> "+nodeID(mid)) {
+		t.Errorf("missing edge root->mid:\n%s", dot)
+	}
+	if !strings.HasPrefix(dot, "digraph") || !strings.HasSuffix(dot, "}\n") {
+		t.Error("not a DOT digraph")
+	}
+	if !strings.Contains(dot, "Node@") {
+		t.Error("labels missing class names")
+	}
+}
+
+func TestWriteReachableBudget(t *testing.T) {
+	rt := core.New(core.Config{HeapWords: 1 << 14, Mode: core.Infrastructure})
+	node := rt.DefineClass("Node", core.RefField("next"))
+	next := node.MustFieldIndex("next")
+	th := rt.MainThread()
+	g := rt.AddGlobal("head")
+	// A 100-node chain with a 10-object budget.
+	var head core.Ref
+	for i := 0; i < 100; i++ {
+		n := th.New(node)
+		rt.SetRef(n, next, head)
+		head = n
+		g.Set(head)
+	}
+	var b strings.Builder
+	if err := WriteReachable(&b, rt, []core.Ref{head}, Options{MaxObjects: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "label="); got > 10 {
+		t.Errorf("budget exceeded: %d nodes", got)
+	}
+}
+
+func TestWriteViolation(t *testing.T) {
+	rt, root, mid, leaf := world(t)
+	rt.AssertDead(leaf)
+	if err := rt.GC(); err != nil {
+		t.Fatal(err)
+	}
+	vs := rt.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d", len(vs))
+	}
+	var b strings.Builder
+	if err := WriteViolation(&b, rt, vs[0], Options{}); err != nil {
+		t.Fatal(err)
+	}
+	dot := b.String()
+	// The path chain must be present and the offender highlighted.
+	if !strings.Contains(dot, nodeID(root)+" -> "+nodeID(mid)) ||
+		!strings.Contains(dot, nodeID(mid)+" -> "+nodeID(leaf)) {
+		t.Errorf("path edges missing:\n%s", dot)
+	}
+	if !strings.Contains(dot, "color=red") {
+		t.Errorf("offender not highlighted:\n%s", dot)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("assert-ownedby (improper use)"); strings.ContainsAny(got, " -()") {
+		t.Errorf("sanitize left specials: %q", got)
+	}
+}
+
+// nodeID renders a ref the way the writer does.
+func nodeID(r core.Ref) string {
+	return "n" + itoa(uint32(r))
+}
+
+func itoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [10]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,168 @@
+package heapdump
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jbb"
+)
+
+func TestRoundtripSimpleGraph(t *testing.T) {
+	rt := core.New(core.Config{HeapWords: 1 << 13, Mode: core.Infrastructure})
+	node := rt.DefineClass("Node", core.RefField("next"), core.DataField("val"))
+	next := node.MustFieldIndex("next")
+	val := node.MustFieldIndex("val")
+	th := rt.MainThread()
+
+	// A cycle with payloads, plus a string and an array.
+	a := th.New(node)
+	b := th.New(node)
+	rt.SetRef(a, next, b)
+	rt.SetRef(b, next, a)
+	rt.SetInt(a, val, 41)
+	rt.SetInt(b, val, 42)
+	rt.AddGlobal("head").Set(a)
+
+	s := th.NewString("snapshot payload")
+	rt.AddGlobal("s").Set(s)
+	arr := th.NewRefArray(3)
+	rt.ArrSetRef(arr, 1, b)
+	rt.AddGlobal("arr").Set(arr)
+
+	rt.GC()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, rt); err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := Read(&buf, 1<<13)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Globals restored by name; graph shape preserved.
+	var head2, s2, arr2 core.Ref
+	rt2.EachGlobal(func(name string, r core.Ref) {
+		switch name {
+		case "head":
+			head2 = r
+		case "s":
+			s2 = r
+		case "arr":
+			arr2 = r
+		}
+	})
+	if head2 == core.Nil || s2 == core.Nil || arr2 == core.Nil {
+		t.Fatal("globals not restored")
+	}
+	node2 := rt2.ClassOf(head2)
+	if node2.Name != "Node" {
+		t.Fatalf("class = %q", node2.Name)
+	}
+	b2 := rt2.GetRef(head2, node2.MustFieldIndex("next"))
+	if rt2.GetInt(head2, node2.MustFieldIndex("val")) != 41 ||
+		rt2.GetInt(b2, node2.MustFieldIndex("val")) != 42 {
+		t.Error("field values lost")
+	}
+	// The cycle survives.
+	if rt2.GetRef(b2, node2.MustFieldIndex("next")) != head2 {
+		t.Error("cycle broken")
+	}
+	if got := rt2.StringAt(s2); got != "snapshot payload" {
+		t.Errorf("string = %q", got)
+	}
+	if rt2.ArrGetRef(arr2, 1) != b2 {
+		t.Error("array element remap wrong")
+	}
+	if rt2.ArrGetRef(arr2, 0) != core.Nil {
+		t.Error("nil element not preserved")
+	}
+
+	// The restored heap is a healthy heap.
+	if errs := rt2.VerifyHeap(); len(errs) != 0 {
+		t.Fatalf("verify: %v", errs[0])
+	}
+	// And collectable: after dropping globals, everything dies.
+	rt2.EachGlobal(func(name string, r core.Ref) {})
+	if err := rt2.GC(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundtripJBBHeap(t *testing.T) {
+	rt := core.New(core.Config{HeapWords: 1 << 19, Mode: core.Infrastructure})
+	b := jbb.New(rt, jbb.Config{ClearLastOrder: true})
+	b.RunTransactions(300)
+	rt.GC()
+
+	census := func(r *core.Runtime) map[string]int {
+		out := map[string]int{}
+		r.EachObject(func(class string, _ uint32) { out[class]++ })
+		return out
+	}
+	want := census(rt)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, rt); err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := Read(&buf, 1<<19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := census(rt2)
+	for class, n := range want {
+		if got[class] != n {
+			t.Errorf("class %s: %d objects, want %d", class, got[class], n)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("class sets differ: %d vs %d", len(got), len(want))
+	}
+	if errs := rt2.VerifyHeap(); len(errs) != 0 {
+		t.Fatalf("verify: %v", errs[0])
+	}
+}
+
+func TestSubclassesSurviveRoundtrip(t *testing.T) {
+	rt := core.New(core.Config{HeapWords: 1 << 12, Mode: core.Infrastructure})
+	base := rt.DefineClass("Entity", core.RefField("tag"))
+	sub := rt.DefineSubclass("Order", base, core.DataField("id"))
+	th := rt.MainThread()
+	o := th.New(sub)
+	rt.SetInt(o, sub.MustFieldIndex("id"), 7)
+	rt.AddGlobal("o").Set(o)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, rt); err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := Read(&buf, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o2 core.Ref
+	rt2.EachGlobal(func(name string, r core.Ref) {
+		if name == "o" {
+			o2 = r
+		}
+	})
+	c2 := rt2.ClassOf(o2)
+	if c2.Name != "Order" || c2.Super == nil || c2.Super.Name != "Entity" {
+		t.Fatalf("class hierarchy lost: %+v", c2)
+	}
+	if rt2.GetInt(o2, c2.MustFieldIndex("id")) != 7 {
+		t.Error("subclass field lost")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a snapshot"), 1<<12); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil), 1<<12); err == nil {
+		t.Error("empty input accepted")
+	}
+}

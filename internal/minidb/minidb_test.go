@@ -1,0 +1,145 @@
+package minidb
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func newDB(t *testing.T, cfg Config) *Database {
+	t.Helper()
+	rt := core.New(core.Config{HeapWords: 1 << 21, Mode: core.Infrastructure})
+	return New(rt, cfg)
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	d := newDB(t, Config{Entries: 200})
+	if d.Len() != 200 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if !d.Find(100) {
+		t.Error("Find(100) failed")
+	}
+	if d.Find(1 << 40) {
+		t.Error("Find(huge) succeeded")
+	}
+	if d.Scan() == 0 {
+		t.Error("Scan folded nothing")
+	}
+	before := d.Len()
+	d.Add()
+	d.Remove()
+	d.Remove()
+	if d.Len() != before-1 {
+		t.Errorf("Len = %d, want %d", d.Len(), before-1)
+	}
+}
+
+func TestCleanRunNoViolations(t *testing.T) {
+	d := newDB(t, Config{
+		Entries:            2000,
+		AssertOwnership:    true,
+		AssertDeadOnRemove: true,
+	})
+	d.RunOps(400)
+	if err := d.Runtime().GC(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range d.Runtime().Violations() {
+		t.Errorf("unexpected violation:\n%s", v.Format())
+	}
+	if d.OwnedByAsserts == 0 {
+		t.Error("no ownership assertions issued")
+	}
+}
+
+func TestLeakCacheCaughtByOwnership(t *testing.T) {
+	// Removed entries retained by the cache are reachable but not through
+	// their Database owner.
+	d := newDB(t, Config{
+		Entries:         2000,
+		AssertOwnership: true,
+		LeakCache:       true,
+	})
+	d.RunOps(400)
+	if err := d.Runtime().GC(); err != nil {
+		t.Fatal(err)
+	}
+	var hit *report.Violation
+	for _, v := range d.Runtime().Violations() {
+		if v.Kind == report.UnownedOwnee && v.Class == "Entry" {
+			hit = v
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatal("leaked Entry not reported")
+	}
+	if hit.Owner != "Database" {
+		t.Errorf("owner = %q, want Database", hit.Owner)
+	}
+	// The path must run through the cache's ArrayList, not the Database.
+	viaList := false
+	for _, e := range hit.Path {
+		if e.Class == "ArrayList" {
+			viaList = true
+		}
+		if e.Class == "Database" {
+			t.Errorf("path runs through the owner, impossible for unowned:\n%s", hit.Format())
+		}
+	}
+	if !viaList {
+		t.Errorf("path does not show the cache:\n%s", hit.Format())
+	}
+}
+
+func TestLeakCacheCaughtByAssertDead(t *testing.T) {
+	d := newDB(t, Config{
+		Entries:            2000,
+		AssertDeadOnRemove: true,
+		LeakCache:          true,
+	})
+	d.RunOps(400)
+	if err := d.Runtime().GC(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range d.Runtime().Violations() {
+		if v.Kind == report.DeadReachable && v.Class == "Entry" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("leaked Entry not reported by assert-dead")
+	}
+}
+
+func TestPaperScaleVolumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run")
+	}
+	// At the paper's scale: ~15k ownership assertions and ~15k ownees
+	// checked per GC.
+	d := newDB(t, Config{AssertOwnership: true, AssertDeadOnRemove: true})
+	d.RunOps(800)
+	rt := d.Runtime()
+	if err := rt.GC(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Asserts.OwnedByAsserts < 15000 {
+		t.Errorf("OwnedByAsserts = %d, want >= 15000", st.Asserts.OwnedByAsserts)
+	}
+	if st.Asserts.OwneesLive < 14000 {
+		t.Errorf("OwneesLive = %d, want ~15k", st.Asserts.OwneesLive)
+	}
+	// Ownees checked during the explicit GC must be near the table size.
+	if st.GC.Trace.OwneesChecked < uint64(st.Asserts.OwneesLive) {
+		t.Errorf("OwneesChecked = %d < ownee table %d",
+			st.GC.Trace.OwneesChecked, st.Asserts.OwneesLive)
+	}
+	for _, v := range rt.Violations() {
+		t.Errorf("clean run violated:\n%s", v.Format())
+	}
+}

@@ -1,0 +1,188 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/vmheap"
+)
+
+func sampleViolation() *Violation {
+	return &Violation{
+		Kind:   DeadReachable,
+		Cycle:  3,
+		Object: vmheap.Ref(100),
+		Class:  "Order",
+		Path: []PathElem{
+			{Class: "Company", Ref: 10},
+			{Class: "Object[]", Ref: 20},
+			{Class: "Warehouse", Ref: 30},
+			{Class: "Order", Ref: 100},
+		},
+	}
+}
+
+func TestFormatFigure1Style(t *testing.T) {
+	got := sampleViolation().Format()
+	want := "Warning: an object that was asserted dead is reachable.\n" +
+		"Type: Order\n" +
+		"Path to object:\n" +
+		"Company ->\n" +
+		"Object[] ->\n" +
+		"Warehouse ->\n" +
+		"Order\n"
+	if got != want {
+		t.Errorf("Format:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestFormatInstances(t *testing.T) {
+	v := &Violation{Kind: TooManyInstances, Class: "IndexSearcher", Count: 32, Limit: 1}
+	got := v.Format()
+	if !strings.Contains(got, "32 live instances of IndexSearcher (limit 1)") {
+		t.Errorf("Format = %q", got)
+	}
+	if strings.Contains(got, "Type:") {
+		t.Error("instance violation should not print a Type line")
+	}
+	if strings.Contains(got, "Path") {
+		t.Error("instance violation should not print a path")
+	}
+}
+
+func TestFormatOwnership(t *testing.T) {
+	v := &Violation{Kind: UnownedOwnee, Class: "Order", Owner: "longBTree",
+		Path: []PathElem{{Class: "Customer", Ref: 2}, {Class: "Order", Ref: 4}}}
+	got := v.Format()
+	if !strings.Contains(got, "owned by longBTree") {
+		t.Errorf("missing owner in %q", got)
+	}
+	if !strings.Contains(got, "Customer ->\nOrder\n") {
+		t.Errorf("missing path in %q", got)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{DeadReachable, RegionSurvivor, TooManyInstances,
+		SharedObject, UnownedOwnee, ImproperOwnership}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("Kind %d has empty or duplicate string %q", k, s)
+		}
+		seen[s] = true
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind string not diagnostic")
+	}
+}
+
+func TestLogger(t *testing.T) {
+	var buf bytes.Buffer
+	l := &Logger{W: &buf}
+	if a := l.HandleViolation(sampleViolation()); a != Continue {
+		t.Errorf("Logger action = %d, want Continue", a)
+	}
+	if !strings.Contains(buf.String(), "asserted dead is reachable") {
+		t.Errorf("log output = %q", buf.String())
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := &Recorder{}
+	r.HandleViolation(sampleViolation())
+	r.HandleViolation(&Violation{Kind: SharedObject, Class: "Node"})
+	if len(r.Violations) != 2 {
+		t.Fatalf("recorded %d", len(r.Violations))
+	}
+	if got := r.ByKind(SharedObject); len(got) != 1 || got[0].Class != "Node" {
+		t.Errorf("ByKind = %+v", got)
+	}
+	r.Reset()
+	if len(r.Violations) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestRecorderRespond(t *testing.T) {
+	r := &Recorder{Respond: func(*Violation) Action { return Halt }}
+	if a := r.HandleViolation(sampleViolation()); a != Halt {
+		t.Errorf("action = %d, want Halt", a)
+	}
+}
+
+func TestTeeSeverity(t *testing.T) {
+	cont := HandlerFunc(func(*Violation) Action { return Continue })
+	force := HandlerFunc(func(*Violation) Action { return Force })
+	halt := HandlerFunc(func(*Violation) Action { return Halt })
+	if a := (Tee{cont, force}).HandleViolation(sampleViolation()); a != Force {
+		t.Errorf("tee = %d, want Force", a)
+	}
+	if a := (Tee{halt, cont}).HandleViolation(sampleViolation()); a != Halt {
+		t.Errorf("tee = %d, want Halt", a)
+	}
+	if a := (Tee{}).HandleViolation(sampleViolation()); a != Continue {
+		t.Errorf("empty tee = %d, want Continue", a)
+	}
+}
+
+func TestKindActions(t *testing.T) {
+	m := KindActions{
+		DeadReachable:    Force,
+		TooManyInstances: Halt,
+	}
+	if a := m.HandleViolation(&Violation{Kind: DeadReachable}); a != Force {
+		t.Errorf("DeadReachable action = %d", a)
+	}
+	if a := m.HandleViolation(&Violation{Kind: TooManyInstances}); a != Halt {
+		t.Errorf("TooManyInstances action = %d", a)
+	}
+	// Unconfigured kinds continue.
+	if a := m.HandleViolation(&Violation{Kind: SharedObject}); a != Continue {
+		t.Errorf("unconfigured kind action = %d", a)
+	}
+}
+
+func TestHaltError(t *testing.T) {
+	err := &HaltError{Violation: sampleViolation()}
+	if !strings.Contains(err.Error(), "halt requested") {
+		t.Errorf("Error = %q", err.Error())
+	}
+	if !strings.Contains(err.Error(), "Order") {
+		t.Errorf("Error missing violation detail: %q", err.Error())
+	}
+}
+
+func TestJSONLogger(t *testing.T) {
+	var buf bytes.Buffer
+	l := &JSONLogger{W: &buf}
+	if a := l.HandleViolation(sampleViolation()); a != Continue {
+		t.Errorf("action = %d", a)
+	}
+	l.HandleViolation(&Violation{Kind: TooManyInstances, Class: "IndexSearcher", Count: 32, Limit: 1})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if first["assertion"] != "assert-dead" || first["class"] != "Order" {
+		t.Errorf("first = %v", first)
+	}
+	path, _ := first["path"].([]any)
+	if len(path) != 4 || path[0] != "Company" {
+		t.Errorf("path = %v", path)
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second["count"] != float64(32) || second["limit"] != float64(1) {
+		t.Errorf("second = %v", second)
+	}
+}

@@ -1,0 +1,90 @@
+package roots
+
+import (
+	"testing"
+
+	"repro/internal/vmheap"
+)
+
+func TestGlobalRoundtrip(t *testing.T) {
+	tab := NewTable()
+	g := tab.Add("config")
+	if g.Get() != vmheap.Nil {
+		t.Error("fresh global not Nil")
+	}
+	g.Set(vmheap.Ref(10))
+	if g.Get() != vmheap.Ref(10) {
+		t.Error("Set/Get roundtrip failed")
+	}
+	if tab.ByName("config") != g {
+		t.Error("ByName lookup failed")
+	}
+	if tab.ByName("missing") != nil {
+		t.Error("ByName on missing returned non-nil")
+	}
+}
+
+func TestAddDuplicatePanics(t *testing.T) {
+	tab := NewTable()
+	tab.Add("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Add did not panic")
+		}
+	}()
+	tab.Add("x")
+}
+
+func TestRemove(t *testing.T) {
+	tab := NewTable()
+	tab.Add("a")
+	g := tab.Add("b")
+	g.Set(vmheap.Ref(2))
+	tab.Remove("b")
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tab.Len())
+	}
+	n := 0
+	tab.EachRoot(func(*vmheap.Ref) { n++ })
+	if n != 0 {
+		t.Errorf("removed global still enumerated (n=%d)", n)
+	}
+	tab.Remove("missing") // no-op, no panic
+}
+
+func TestEachRootSkipsNilAndWrites(t *testing.T) {
+	tab := NewTable()
+	tab.Add("empty")
+	g := tab.Add("set")
+	g.Set(vmheap.Ref(8))
+	var got []vmheap.Ref
+	tab.EachRoot(func(slot *vmheap.Ref) {
+		got = append(got, *slot)
+		*slot = vmheap.Nil
+	})
+	if len(got) != 1 || got[0] != 8 {
+		t.Errorf("roots = %v, want [8]", got)
+	}
+	if g.Get() != vmheap.Nil {
+		t.Error("write through slot did not stick")
+	}
+}
+
+type fakeSource []vmheap.Ref
+
+func (f fakeSource) EachRoot(fn func(*vmheap.Ref)) {
+	for i := range f {
+		fn(&f[i])
+	}
+}
+
+func TestMulti(t *testing.T) {
+	a := fakeSource{2, 4}
+	b := fakeSource{6}
+	m := Multi{a, b}
+	var got []vmheap.Ref
+	m.EachRoot(func(slot *vmheap.Ref) { got = append(got, *slot) })
+	if len(got) != 3 || got[0] != 2 || got[1] != 4 || got[2] != 6 {
+		t.Errorf("multi roots = %v", got)
+	}
+}

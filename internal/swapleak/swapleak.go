@@ -1,0 +1,144 @@
+// Package swapleak reproduces the Sun Developer Network memory-leak
+// program of the paper's Section 3.2.3 (also studied by Bond and
+// McKinley): a class SObject with a non-static inner class Rep and a
+// swap() method exchanging Rep fields. The user expected freshly allocated
+// SObjects to die after swapping their Rep into an array-held SObject —
+// but a non-static inner class instance carries a hidden reference to its
+// enclosing instance, so every swapped-in Rep pins the temporary SObject
+// that created it. GC assertions display the hidden reference:
+//
+//	SArray -> Object[] -> SObject -> SObject$Rep -> SObject
+//
+// The StaticRep configuration models the fix (a static inner class has no
+// hidden outer pointer).
+package swapleak
+
+import "repro/internal/core"
+
+// Config shapes the program.
+type Config struct {
+	// Objects is the array size (default 64).
+	Objects int
+	// StaticRep omits the hidden outer reference — the repaired program.
+	StaticRep bool
+	// AssertDeadAfterSwap instruments the swap loop as the paper did.
+	AssertDeadAfterSwap bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Objects == 0 {
+		c.Objects = 64
+	}
+	return c
+}
+
+// Program is one configured instance bound to a runtime.
+type Program struct {
+	rt  *core.Runtime
+	th  *core.Thread
+	cfg Config
+
+	// SObject: rep.
+	SObject *core.Class
+	soRep   uint16
+
+	// SObject$Rep: outer (the hidden this$0), data.
+	Rep      *core.Class
+	repOuter uint16
+	repData  uint16
+
+	// SArray: objects (Object[]).
+	SArray *core.Class
+	saObjs uint16
+
+	holder *core.Global
+}
+
+// New defines the classes and builds the SArray of initial SObjects.
+func New(rt *core.Runtime, cfg Config) *Program {
+	p := &Program{rt: rt, th: rt.MainThread(), cfg: cfg.withDefaults()}
+
+	p.Rep = rt.DefineClass("SObject$Rep",
+		core.RefField("outer"), core.DataField("data"))
+	p.repOuter = p.Rep.MustFieldIndex("outer")
+	p.repData = p.Rep.MustFieldIndex("data")
+
+	p.SObject = rt.DefineClass("SObject", core.RefField("rep"))
+	p.soRep = p.SObject.MustFieldIndex("rep")
+
+	p.SArray = rt.DefineClass("SArray", core.RefField("objects"))
+	p.saObjs = p.SArray.MustFieldIndex("objects")
+
+	p.holder = rt.AddGlobal("swapleak.array")
+
+	th := p.th
+	f := th.PushFrame(2)
+	defer th.PopFrame()
+	sa := th.New(p.SArray)
+	f.SetLocal(0, sa)
+	arr := th.NewRefArray(p.cfg.Objects)
+	rt.SetRef(f.Local(0), p.saObjs, arr)
+	p.holder.Set(f.Local(0))
+
+	for i := 0; i < p.cfg.Objects; i++ {
+		o := p.newSObject()
+		f.SetLocal(1, o)
+		arr = rt.GetRef(p.holder.Get(), p.saObjs)
+		rt.ArrSetRef(arr, i, f.Local(1))
+	}
+	return p
+}
+
+// Runtime returns the underlying runtime.
+func (p *Program) Runtime() *core.Runtime { return p.rt }
+
+// newSObject allocates an SObject together with its Rep. Instantiating a
+// non-static inner class stores the enclosing instance in the hidden
+// outer field — the defect's root cause.
+func (p *Program) newSObject() core.Ref {
+	rt, th := p.rt, p.th
+	f := th.PushFrame(2)
+	defer th.PopFrame()
+	o := th.New(p.SObject)
+	f.SetLocal(0, o)
+	rep := th.New(p.Rep)
+	f.SetLocal(1, rep)
+	if !p.cfg.StaticRep {
+		rt.SetRef(rep, p.repOuter, f.Local(0)) // this$0
+	}
+	rt.SetInt(rep, p.repData, 7)
+	rt.SetRef(f.Local(0), p.soRep, f.Local(1))
+	return f.Local(0)
+}
+
+// swap exchanges the Rep fields of two SObjects, as in the forum program.
+func (p *Program) swap(a, b core.Ref) {
+	rt := p.rt
+	ra := rt.GetRef(a, p.soRep)
+	rb := rt.GetRef(b, p.soRep)
+	rt.SetRef(a, p.soRep, rb)
+	rt.SetRef(b, p.soRep, ra)
+}
+
+// RunSwapLoop performs the main loop: for each array slot, allocate a
+// fresh SObject, swap Reps with the array element, and drop the fresh
+// object — which the user expected to be reclaimed. With
+// AssertDeadAfterSwap each temporary is asserted dead after the swap.
+func (p *Program) RunSwapLoop() {
+	rt, th := p.rt, p.th
+	arr := rt.GetRef(p.holder.Get(), p.saObjs)
+	n := rt.ArrLen(arr)
+	f := th.PushFrame(1)
+	defer th.PopFrame()
+	for i := 0; i < n; i++ {
+		temp := p.newSObject()
+		f.SetLocal(0, temp)
+		p.swap(f.Local(0), rt.ArrGetRef(arr, i))
+		if p.cfg.AssertDeadAfterSwap {
+			if err := rt.AssertDead(f.Local(0)); err != nil {
+				panic(err)
+			}
+		}
+		f.SetLocal(0, core.Nil) // the temporary goes out of scope
+	}
+}

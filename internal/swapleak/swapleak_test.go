@@ -1,0 +1,96 @@
+package swapleak
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func newProgram(t *testing.T, cfg Config) *Program {
+	t.Helper()
+	rt := core.New(core.Config{HeapWords: 1 << 16, Mode: core.Infrastructure})
+	return New(rt, cfg)
+}
+
+func TestSwapLeakDetectedWithHiddenReferencePath(t *testing.T) {
+	p := newProgram(t, Config{AssertDeadAfterSwap: true})
+	p.RunSwapLoop()
+	if err := p.Runtime().GC(); err != nil {
+		t.Fatal(err)
+	}
+	vs := p.Runtime().Violations()
+	if len(vs) == 0 {
+		t.Fatal("swap leak not detected")
+	}
+	// Every temporary is pinned: one violation per array slot.
+	if len(vs) != p.cfg.Objects {
+		t.Errorf("violations = %d, want %d", len(vs), p.cfg.Objects)
+	}
+	v := vs[0]
+	if v.Kind != report.DeadReachable || v.Class != "SObject" {
+		t.Fatalf("violation = %s", v.Format())
+	}
+	// The paper's reported path: SArray -> [SObject arr] -> SObject ->
+	// SObject$Rep -> SObject (the hidden this$0 reference).
+	want := []string{"SArray", "Object[]", "SObject", "SObject$Rep", "SObject"}
+	if len(v.Path) != len(want) {
+		t.Fatalf("path = %+v, want %v", v.Path, want)
+	}
+	for i, cls := range want {
+		if v.Path[i].Class != cls {
+			t.Errorf("path[%d] = %q, want %q", i, v.Path[i].Class, cls)
+		}
+	}
+}
+
+func TestStaticRepFix(t *testing.T) {
+	p := newProgram(t, Config{StaticRep: true, AssertDeadAfterSwap: true})
+	p.RunSwapLoop()
+	if err := p.Runtime().GC(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range p.Runtime().Violations() {
+		t.Errorf("fixed program still leaks:\n%s", v.Format())
+	}
+}
+
+func TestLeakGrowsHeapUntilFixApplied(t *testing.T) {
+	// The original symptom was OutOfMemoryError: each swap loop pins
+	// another generation of temporaries.
+	leaky := newProgram(t, Config{})
+	for i := 0; i < 3; i++ {
+		leaky.RunSwapLoop()
+	}
+	leaky.Runtime().GC()
+	leakyLive := leaky.Runtime().Stats().Heap.LiveObjects
+
+	fixed := newProgram(t, Config{StaticRep: true})
+	for i := 0; i < 3; i++ {
+		fixed.RunSwapLoop()
+	}
+	fixed.Runtime().GC()
+	fixedLive := fixed.Runtime().Stats().Heap.LiveObjects
+
+	if leakyLive <= fixedLive {
+		t.Errorf("leak not visible in live counts: leaky %d vs fixed %d",
+			leakyLive, fixedLive)
+	}
+}
+
+func TestSwapActuallySwaps(t *testing.T) {
+	p := newProgram(t, Config{})
+	rt, th := p.rt, p.th
+	f := th.PushFrame(2)
+	defer th.PopFrame()
+	a := p.newSObject()
+	f.SetLocal(0, a)
+	b := p.newSObject()
+	f.SetLocal(1, b)
+	ra := rt.GetRef(a, p.soRep)
+	rb := rt.GetRef(b, p.soRep)
+	p.swap(a, b)
+	if rt.GetRef(a, p.soRep) != rb || rt.GetRef(b, p.soRep) != ra {
+		t.Error("swap did not exchange Rep fields")
+	}
+}

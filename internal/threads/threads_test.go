@@ -1,0 +1,175 @@
+package threads
+
+import (
+	"testing"
+
+	"repro/internal/vmheap"
+)
+
+func TestFrameLocals(t *testing.T) {
+	set := NewSet()
+	th := set.New("main")
+	f := th.PushFrame(4)
+	if f.NumLocals() != 4 {
+		t.Fatalf("NumLocals = %d", f.NumLocals())
+	}
+	f.SetLocal(2, vmheap.Ref(10))
+	if f.Local(2) != vmheap.Ref(10) {
+		t.Error("SetLocal/Local roundtrip failed")
+	}
+	if f.Local(0) != vmheap.Nil {
+		t.Error("fresh local not Nil")
+	}
+}
+
+func TestFrameStack(t *testing.T) {
+	set := NewSet()
+	th := set.New("main")
+	f1 := th.PushFrame(1)
+	f2 := th.PushFrame(1)
+	if th.Depth() != 2 {
+		t.Errorf("Depth = %d, want 2", th.Depth())
+	}
+	if th.TopFrame() != f2 {
+		t.Error("TopFrame != most recent")
+	}
+	th.PopFrame()
+	if th.TopFrame() != f1 {
+		t.Error("TopFrame after pop != first frame")
+	}
+	th.PopFrame()
+	if th.TopFrame() != nil {
+		t.Error("TopFrame on empty stack != nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PopFrame on empty stack did not panic")
+		}
+	}()
+	th.PopFrame()
+}
+
+func TestEachRootSkipsNil(t *testing.T) {
+	set := NewSet()
+	th := set.New("main")
+	f := th.PushFrame(3)
+	f.SetLocal(0, vmheap.Ref(2))
+	f.SetLocal(2, vmheap.Ref(4))
+	var got []vmheap.Ref
+	th.EachRoot(func(slot *vmheap.Ref) { got = append(got, *slot) })
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Errorf("roots = %v, want [2 4]", got)
+	}
+}
+
+func TestEachRootWritable(t *testing.T) {
+	set := NewSet()
+	th := set.New("main")
+	f := th.PushFrame(1)
+	f.SetLocal(0, vmheap.Ref(2))
+	th.EachRoot(func(slot *vmheap.Ref) { *slot = vmheap.Nil })
+	if f.Local(0) != vmheap.Nil {
+		t.Error("root write through slot pointer did not stick")
+	}
+}
+
+func TestRegionLifecycle(t *testing.T) {
+	set := NewSet()
+	th := set.New("main")
+	if th.InRegion() {
+		t.Error("fresh thread in region")
+	}
+	th.StartRegion()
+	if !th.InRegion() {
+		t.Error("InRegion false after StartRegion")
+	}
+	th.RecordRegionAlloc(vmheap.Ref(2))
+	th.RecordRegionAlloc(vmheap.Ref(4))
+	q, err := th.EndRegion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 2 || q[0] != 2 || q[1] != 4 {
+		t.Errorf("queue = %v", q)
+	}
+	if th.InRegion() {
+		t.Error("still in region after EndRegion")
+	}
+}
+
+func TestEndRegionUnmatched(t *testing.T) {
+	set := NewSet()
+	th := set.New("main")
+	if _, err := th.EndRegion(); err == nil {
+		t.Error("unmatched EndRegion did not error")
+	}
+}
+
+func TestNestedRegions(t *testing.T) {
+	set := NewSet()
+	th := set.New("main")
+	th.StartRegion()
+	th.RecordRegionAlloc(vmheap.Ref(2))
+	th.StartRegion()
+	th.RecordRegionAlloc(vmheap.Ref(4))
+	inner, err := th.EndRegion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inner) != 1 || inner[0] != 4 {
+		t.Errorf("inner queue = %v, want [4]", inner)
+	}
+	outer, err := th.EndRegion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outer) != 1 || outer[0] != 2 {
+		t.Errorf("outer queue = %v, want [2]", outer)
+	}
+}
+
+func TestPurgeRegionQueues(t *testing.T) {
+	set := NewSet()
+	th := set.New("main")
+	th.StartRegion()
+	th.RecordRegionAlloc(vmheap.Ref(2))
+	th.RecordRegionAlloc(vmheap.Ref(4))
+	th.RecordRegionAlloc(vmheap.Ref(6))
+	th.PurgeRegionQueues(func(r vmheap.Ref) bool { return r != 4 })
+	q, _ := th.EndRegion()
+	if len(q) != 2 || q[0] != 2 || q[1] != 6 {
+		t.Errorf("purged queue = %v, want [2 6]", q)
+	}
+}
+
+func TestSetEachRootSpansThreads(t *testing.T) {
+	set := NewSet()
+	a := set.New("a")
+	b := set.New("b")
+	a.PushFrame(1).SetLocal(0, vmheap.Ref(2))
+	b.PushFrame(1).SetLocal(0, vmheap.Ref(4))
+	n := 0
+	set.EachRoot(func(*vmheap.Ref) { n++ })
+	if n != 2 {
+		t.Errorf("set roots = %d, want 2", n)
+	}
+	if len(set.All()) != 2 {
+		t.Errorf("All = %d threads", len(set.All()))
+	}
+	if a.ID() == b.ID() {
+		t.Error("thread IDs not unique")
+	}
+	if a.Name() != "a" {
+		t.Errorf("Name = %q", a.Name())
+	}
+}
+
+func TestAllocCounter(t *testing.T) {
+	set := NewSet()
+	th := set.New("main")
+	th.CountAlloc()
+	th.CountAlloc()
+	if th.Allocs() != 2 {
+		t.Errorf("Allocs = %d", th.Allocs())
+	}
+}

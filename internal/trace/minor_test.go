@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/vmheap"
+)
+
+func TestTraceMinorMarksImmatureOnly(t *testing.T) {
+	e := newEnv(t, 4096)
+	mature := e.alloc(t)
+	young := e.alloc(t)
+	e.h.SetFlags(mature, vmheap.FlagMature)
+	e.gl.Add("m").Set(mature)
+	e.gl.Add("y").Set(young)
+
+	tr := e.tracer()
+	tr.TraceMinor(e.gl, nil)
+	if e.h.Flags(mature, vmheap.FlagMark) != 0 {
+		t.Error("mature object marked by minor trace")
+	}
+	if e.h.Flags(young, vmheap.FlagMark) == 0 {
+		t.Error("young root not marked")
+	}
+	if tr.Stats().Visited != 1 {
+		t.Errorf("Visited = %d, want 1", tr.Stats().Visited)
+	}
+}
+
+func TestTraceMinorDoesNotDescendIntoMature(t *testing.T) {
+	// young1 -> mature -> young2: without a remembered-set entry for
+	// mature, young2 must stay unmarked (the barrier's job to record).
+	e := newEnv(t, 4096)
+	young1 := e.alloc(t)
+	mature := e.alloc(t)
+	young2 := e.alloc(t)
+	e.h.SetFlags(mature, vmheap.FlagMature)
+	e.h.SetRefAt(young1, e.next, mature)
+	e.h.SetRefAt(mature, e.next, young2)
+	e.gl.Add("r").Set(young1)
+
+	tr := e.tracer()
+	tr.TraceMinor(e.gl, nil)
+	if e.h.Flags(young2, vmheap.FlagMark) != 0 {
+		t.Error("minor trace descended through a mature object")
+	}
+
+	// With the remembered set covering mature, young2 is found.
+	e.h.ClearMarks(0)
+	tr.Reset()
+	tr.TraceMinor(e.gl, []vmheap.Ref{mature})
+	if e.h.Flags(young2, vmheap.FlagMark) == 0 {
+		t.Error("remembered-set child not marked")
+	}
+	if e.h.Flags(mature, vmheap.FlagMark) != 0 {
+		t.Error("remembered mature object itself marked")
+	}
+}
+
+func TestTraceMinorRefArrays(t *testing.T) {
+	e := newEnv(t, 4096)
+	arr, err := e.h.Alloc(vmheap.KindRefArray, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	young := e.alloc(t)
+	e.h.SetArrayWord(arr, 1, uint64(young))
+	e.gl.Add("arr").Set(arr)
+
+	tr := e.tracer()
+	tr.TraceMinor(e.gl, nil)
+	if e.h.Flags(young, vmheap.FlagMark) == 0 {
+		t.Error("array element not marked")
+	}
+}

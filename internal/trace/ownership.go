@@ -1,0 +1,284 @@
+package trace
+
+import (
+	"repro/internal/report"
+	"repro/internal/vmheap"
+)
+
+// OwnershipPhase describes the owner-first pre-phase of a collection
+// (paper Section 2.5.2). Before the root scan, the collector traces from
+// each owner object; ownees reached from their own owner are tagged with
+// the owned bit, so the subsequent root scan can flag any reachable ownee
+// that lacks the tag.
+//
+// The owner scans are truncated at ownees — "collections are essentially
+// truncated when their leaves are reached", which defeats the back-edge
+// problem — and at other owners (marked and left for their own scan).
+// Truncated ownees are queued, and their subtrees are traced after every
+// owner has been scanned. The queue processing runs with ordinary tracing
+// semantics plus two rules: an unmarked ownee encountered there was not
+// reached by its own owner's scan and is reported immediately (it would
+// otherwise be masked from the root phase by the mark this trace sets),
+// and owner objects are never marked (an owner must stay collectable when
+// no root reaches it).
+type OwnershipPhase struct {
+	// Owners lists the owner objects in scan order. Entries may be Nil
+	// when a pair was purged after its owner died.
+	Owners []vmheap.Ref
+
+	// OwnerOf returns the owner index for an ownee (objects carrying
+	// FlagOwnee). The assertion engine implements this with a binary
+	// search over its sorted ownee table, as in the paper.
+	OwnerOf func(r vmheap.Ref) (int, bool)
+
+	// IsOwner reports whether r is some owner object.
+	IsOwner func(r vmheap.Ref) bool
+
+	// Improper is invoked when an owner's scan reaches a different
+	// owner's ownee before any ownee of its own: the owner regions
+	// overlap, which the paper calls improper use of the assertion.
+	Improper func(obj vmheap.Ref, scanningOwner int, path func() []vmheap.Ref)
+}
+
+// RunOwnershipPhase performs the ownership pre-phase. The regular
+// assertion checks (dead, unshared, instance counting) run here too:
+// objects marked in this phase are not re-traced by the root scan, so
+// their checks must piggyback on this traversal. Paths reported from this
+// phase begin at an owner or ownee rather than a root.
+func (t *Tracer) RunOwnershipPhase(p *OwnershipPhase) {
+	var queue []vmheap.Ref
+
+	// Phase 1a: truncated scan from each owner.
+	for i, owner := range p.Owners {
+		if owner == vmheap.Nil {
+			continue
+		}
+		// Seed the worklist with the owner. Popping it scans its fields
+		// without setting its mark bit: the owner must remain eligible
+		// for collection if no root reaches it (paper: "we avoid marking
+		// the owner object when we do the ownership scan").
+		t.stack = t.stack[:0]
+		t.stack = append(t.stack, uint32(owner))
+		t.drainOwnerScan(i, owner, p, &queue)
+	}
+
+	// Phase 1b: resume the truncated scans below each owned ownee.
+	t.stack = t.stack[:0]
+	for _, e := range queue {
+		t.stack = append(t.stack, uint32(e))
+	}
+	t.drainOwneeSubtrees(p)
+}
+
+// drainOwnerScan runs the path-tracking DFS with the owner-region
+// truncation rules, scanning on behalf of owner index cur (whose object is
+// curOwner).
+func (t *Tracer) drainOwnerScan(cur int, curOwner vmheap.Ref, p *OwnershipPhase, queue *[]vmheap.Ref) {
+	h := t.heap
+	for len(t.stack) > 0 {
+		e := t.stack[len(t.stack)-1]
+		t.stack = t.stack[:len(t.stack)-1]
+		if e&1 != 0 {
+			continue
+		}
+		t.stack = append(t.stack, e|1)
+		r := vmheap.Ref(e)
+
+		switch h.KindOf(r) {
+		case vmheap.KindScalar:
+			for _, off := range t.reg.RefOffsets(h.ClassID(r)) {
+				c := h.RefAt(r, uint32(off))
+				if c == vmheap.Nil {
+					t.stats.RefsScanned++
+					continue
+				}
+				if t.checkOwnerScan(c, cur, curOwner, p, queue) {
+					h.SetRefAt(r, uint32(off), vmheap.Nil)
+				}
+			}
+		case vmheap.KindRefArray:
+			n := h.ArrayLen(r)
+			for i := uint32(0); i < n; i++ {
+				c := vmheap.Ref(h.ArrayWord(r, i))
+				if c == vmheap.Nil {
+					t.stats.RefsScanned++
+					continue
+				}
+				if t.checkOwnerScan(c, cur, curOwner, p, queue) {
+					h.SetArrayWord(r, i, 0)
+				}
+			}
+		case vmheap.KindDataArray:
+		}
+	}
+}
+
+// checkOwnerScan is the per-encounter logic of an owner scan. It returns
+// true when the Force action requires the caller to null the reference it
+// followed.
+func (t *Tracer) checkOwnerScan(c vmheap.Ref, cur int, curOwner vmheap.Ref, p *OwnershipPhase, queue *[]vmheap.Ref) bool {
+	h := t.heap
+	t.stats.RefsScanned++
+	hd := h.Header(c)
+
+	if hd&vmheap.FlagDead != 0 {
+		t.stats.DeadHits++
+		if t.checks.Dead != nil {
+			if t.checks.Dead(c, func() []vmheap.Ref { return t.CurrentPath(c) }) == report.Force {
+				t.stats.ForcedRefs++
+				return true
+			}
+		}
+	}
+
+	if hd&vmheap.FlagMark != 0 {
+		if hd&vmheap.FlagUnshared != 0 {
+			t.stats.SharedHits++
+			if t.checks.Shared != nil {
+				t.checks.Shared(c, func() []vmheap.Ref { return t.CurrentPath(c) })
+			}
+		}
+		return false
+	}
+
+	// A back edge to the owner being scanned: never mark it here, so that
+	// an owner unreachable from the roots is still collected this cycle.
+	if c == curOwner {
+		return false
+	}
+
+	if hd&vmheap.FlagOwnee != 0 {
+		// An ownee truncates the scan. Reached from its own owner it is
+		// tagged owned and queued for phase 1b; reached from another
+		// owner the regions overlap — improper use.
+		t.stats.OwneesChecked++
+		owner, ok := p.OwnerOf(c)
+		if ok && owner == cur {
+			h.SetFlags(c, vmheap.FlagMark|vmheap.FlagOwned)
+			t.stats.Visited++
+			t.countInstance(c)
+			*queue = append(*queue, c)
+		} else if p.Improper != nil {
+			p.Improper(c, cur, func() []vmheap.Ref { return t.CurrentPath(c) })
+		}
+		return false
+	}
+
+	if p.IsOwner(c) {
+		// Another owner: mark it (it is reachable from the current
+		// owner's region, the paper's documented conservatism) and stop;
+		// its own scan handles its region.
+		h.SetFlags(c, vmheap.FlagMark)
+		t.stats.Visited++
+		t.countInstance(c)
+		return false
+	}
+
+	h.SetFlags(c, vmheap.FlagMark)
+	t.stats.Visited++
+	t.countInstance(c)
+	t.stack = append(t.stack, uint32(c))
+	return false
+}
+
+// drainOwneeSubtrees traces below the queued ownees (phase 1b) with
+// ordinary semantics plus the two ownership rules described on
+// OwnershipPhase.
+func (t *Tracer) drainOwneeSubtrees(p *OwnershipPhase) {
+	h := t.heap
+	for len(t.stack) > 0 {
+		e := t.stack[len(t.stack)-1]
+		t.stack = t.stack[:len(t.stack)-1]
+		if e&1 != 0 {
+			continue
+		}
+		t.stack = append(t.stack, e|1)
+		r := vmheap.Ref(e)
+
+		switch h.KindOf(r) {
+		case vmheap.KindScalar:
+			for _, off := range t.reg.RefOffsets(h.ClassID(r)) {
+				c := h.RefAt(r, uint32(off))
+				if c == vmheap.Nil {
+					t.stats.RefsScanned++
+					continue
+				}
+				if t.checkOwneeSubtree(c, p) {
+					h.SetRefAt(r, uint32(off), vmheap.Nil)
+				}
+			}
+		case vmheap.KindRefArray:
+			n := h.ArrayLen(r)
+			for i := uint32(0); i < n; i++ {
+				c := vmheap.Ref(h.ArrayWord(r, i))
+				if c == vmheap.Nil {
+					t.stats.RefsScanned++
+					continue
+				}
+				if t.checkOwneeSubtree(c, p) {
+					h.SetArrayWord(r, i, 0)
+				}
+			}
+		case vmheap.KindDataArray:
+		}
+	}
+}
+
+// checkOwneeSubtree is the per-encounter logic of phase 1b.
+func (t *Tracer) checkOwneeSubtree(c vmheap.Ref, p *OwnershipPhase) bool {
+	h := t.heap
+	t.stats.RefsScanned++
+	hd := h.Header(c)
+
+	if hd&vmheap.FlagDead != 0 {
+		t.stats.DeadHits++
+		if t.checks.Dead != nil {
+			if t.checks.Dead(c, func() []vmheap.Ref { return t.CurrentPath(c) }) == report.Force {
+				t.stats.ForcedRefs++
+				return true
+			}
+		}
+	}
+
+	if hd&vmheap.FlagMark != 0 {
+		if hd&vmheap.FlagUnshared != 0 {
+			t.stats.SharedHits++
+			if t.checks.Shared != nil {
+				t.checks.Shared(c, func() []vmheap.Ref { return t.CurrentPath(c) })
+			}
+		}
+		return false
+	}
+
+	// Never mark an owner from an ownee subtree: back edges into the
+	// owning container must not keep a dead owner (and hence its whole
+	// region) alive. A root-reachable owner is marked by the root scan.
+	if p.IsOwner(c) {
+		return false
+	}
+
+	if hd&vmheap.FlagOwnee != 0 {
+		// Unmarked ownee: every owner scan has completed, so its owner
+		// did not reach it — report now, because the mark set below
+		// would hide it from the root phase's check.
+		t.stats.OwneesChecked++
+		if hd&vmheap.FlagOwned == 0 && t.checks.Unowned != nil {
+			t.checks.Unowned(c, func() []vmheap.Ref { return t.CurrentPath(c) })
+		}
+	}
+
+	h.SetFlags(c, vmheap.FlagMark)
+	t.stats.Visited++
+	t.countInstance(c)
+	t.stack = append(t.stack, uint32(c))
+	return false
+}
+
+// countInstance records the object for assert-instances if its class is
+// tracked.
+func (t *Tracer) countInstance(c vmheap.Ref) {
+	class := t.heap.ClassID(c)
+	if t.reg.Tracked(class) {
+		t.reg.CountInstance(class)
+	}
+}

@@ -1,0 +1,308 @@
+// Package trace implements the collector's marking phase in the two
+// configurations the paper measures:
+//
+//   - The Base loop is an unmodified depth-first mark: pop a reference,
+//     mark and push its unmarked children. No assertion checks, no path
+//     bookkeeping. This is the "Base" configuration of Figures 2-5.
+//
+//   - The Infrastructure loop adds the paper's machinery: every popped
+//     reference is pushed back with its low-order bit set before its
+//     children are scanned, so the set-bit entries on the worklist always
+//     spell out the exact path from a root to the current object (Section
+//     2.7); and each encountered object is checked against the assertion
+//     header bits (dead, unshared, ownee) and counted toward any
+//     assert-instances limits. This is the "Infrastructure" configuration —
+//     the checks run whether or not the program registered assertions.
+//
+// The low-bit trick is sound here for the same reason it is in Jikes RVM:
+// objects are two-word aligned (vmheap), so every real Ref has a zero low
+// bit.
+package trace
+
+import (
+	"repro/internal/classes"
+	"repro/internal/report"
+	"repro/internal/roots"
+	"repro/internal/vmheap"
+)
+
+// Stats counts the work done by one marking pass (both phases).
+type Stats struct {
+	Visited       uint64 // objects marked (first visits)
+	RefsScanned   uint64 // reference slots examined
+	DeadHits      uint64 // encounters of dead-asserted objects
+	SharedHits    uint64 // re-encounters of unshared-asserted objects
+	OwneesChecked uint64 // ownee objects tested for the owned bit
+	ForcedRefs    uint64 // references nulled by the Force action
+}
+
+// Checks is the assertion callout surface the collector wires into the
+// Infrastructure loop. All callbacks run with the world stopped. A nil
+// callback disables its check.
+type Checks struct {
+	// Dead is invoked when a reference to a dead-asserted object is
+	// encountered. path lazily reconstructs the full heap path ending at
+	// the object. The returned action selects log/halt/force handling;
+	// Force makes the tracer null the encountered reference and skip the
+	// object, so it (and anything reachable only through it) is swept.
+	Dead func(obj vmheap.Ref, path func() []vmheap.Ref) report.Action
+
+	// Shared is invoked when an already-marked object with the unshared
+	// bit is encountered again — the second incoming pointer. The path
+	// is the second path, per the paper's Section 2.7 limitation.
+	Shared func(obj vmheap.Ref, path func() []vmheap.Ref)
+
+	// Unowned is invoked during the root phase when an ownee is first
+	// visited without its owned bit — it is reachable, but not through
+	// its owner.
+	Unowned func(obj vmheap.Ref, path func() []vmheap.Ref)
+}
+
+// Tracer holds the reusable marking state for one heap.
+type Tracer struct {
+	heap *vmheap.Heap
+	reg  *classes.Registry
+
+	// stack is the worklist. In the Infrastructure loop, entries with the
+	// low bit set are "open": their children are being traced, and the
+	// open entries bottom-to-top are the current root-to-object path.
+	stack []uint32
+
+	checks Checks
+	stats  Stats
+	halt   *report.Violation // set when a handler requested Halt
+}
+
+// New creates a tracer for the given heap and class registry.
+func New(h *vmheap.Heap, reg *classes.Registry) *Tracer {
+	return &Tracer{heap: h, reg: reg, stack: make([]uint32, 0, 1024)}
+}
+
+// SetChecks installs the assertion callouts for subsequent Infrastructure
+// traces.
+func (t *Tracer) SetChecks(c Checks) { t.checks = c }
+
+// Stats returns the counters accumulated since the last Reset.
+func (t *Tracer) Stats() Stats { return t.stats }
+
+// Halted returns the violation for which a handler requested Halt during
+// the last trace, or nil.
+func (t *Tracer) Halted() *report.Violation { return t.halt }
+
+// Reset clears per-collection state (stats, halt request).
+func (t *Tracer) Reset() {
+	t.stats = Stats{}
+	t.halt = nil
+	t.stack = t.stack[:0]
+}
+
+// RequestHalt records a halt-requesting violation; the collector finishes
+// the cycle (the heap must reach a consistent state) and then surfaces it.
+func (t *Tracer) RequestHalt(v *report.Violation) {
+	if t.halt == nil {
+		t.halt = v
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Base loop
+
+// TraceBase marks everything reachable from src with a plain depth-first
+// scan: the unmodified collector of the paper's Base configuration.
+func (t *Tracer) TraceBase(src roots.Source) {
+	h := t.heap
+	stack := t.stack[:0]
+
+	src.EachRoot(func(slot *vmheap.Ref) {
+		r := *slot
+		if h.Flags(r, vmheap.FlagMark) == 0 {
+			h.SetFlags(r, vmheap.FlagMark)
+			t.stats.Visited++
+			stack = append(stack, uint32(r))
+		}
+	})
+
+	for len(stack) > 0 {
+		r := vmheap.Ref(stack[len(stack)-1])
+		stack = stack[:len(stack)-1]
+
+		switch h.KindOf(r) {
+		case vmheap.KindScalar:
+			for _, off := range t.reg.RefOffsets(h.ClassID(r)) {
+				c := h.RefAt(r, uint32(off))
+				t.stats.RefsScanned++
+				if c != vmheap.Nil && h.Flags(c, vmheap.FlagMark) == 0 {
+					h.SetFlags(c, vmheap.FlagMark)
+					t.stats.Visited++
+					stack = append(stack, uint32(c))
+				}
+			}
+		case vmheap.KindRefArray:
+			n := h.ArrayLen(r)
+			for i := uint32(0); i < n; i++ {
+				c := vmheap.Ref(h.ArrayWord(r, i))
+				t.stats.RefsScanned++
+				if c != vmheap.Nil && h.Flags(c, vmheap.FlagMark) == 0 {
+					h.SetFlags(c, vmheap.FlagMark)
+					t.stats.Visited++
+					stack = append(stack, uint32(c))
+				}
+			}
+		case vmheap.KindDataArray:
+			// No references.
+		}
+	}
+	t.stack = stack
+}
+
+// ---------------------------------------------------------------------------
+// Infrastructure loop
+
+// TraceInfra marks everything reachable from src using the paper's
+// path-tracking worklist and runs the piggybacked assertion checks on every
+// encountered reference. The ownership pre-phase, if any, must already have
+// run (marked objects are simply not re-traced).
+func (t *Tracer) TraceInfra(src roots.Source) {
+	t.stack = t.stack[:0]
+
+	src.EachRoot(func(slot *vmheap.Ref) {
+		t.encounter(slot)
+	})
+
+	t.drainInfra()
+}
+
+// drainInfra runs the path-tracking DFS until the worklist is empty.
+func (t *Tracer) drainInfra() {
+	h := t.heap
+	for len(t.stack) > 0 {
+		e := t.stack[len(t.stack)-1]
+		t.stack = t.stack[:len(t.stack)-1]
+		if e&1 != 0 {
+			// Close marker: all objects reachable from it are done.
+			continue
+		}
+		// Keep the object on the worklist, tagged, while its children
+		// are traced; the tagged entries define the current path.
+		t.stack = append(t.stack, e|1)
+		r := vmheap.Ref(e)
+
+		switch h.KindOf(r) {
+		case vmheap.KindScalar:
+			for _, off := range t.reg.RefOffsets(h.ClassID(r)) {
+				t.encounterField(r, uint32(off))
+			}
+		case vmheap.KindRefArray:
+			n := h.ArrayLen(r)
+			for i := uint32(0); i < n; i++ {
+				t.encounterArraySlot(r, i)
+			}
+		case vmheap.KindDataArray:
+			// No references.
+		}
+	}
+}
+
+// encounterField processes the reference in field word off of obj.
+func (t *Tracer) encounterField(obj vmheap.Ref, off uint32) {
+	c := t.heap.RefAt(obj, off)
+	if c == vmheap.Nil {
+		t.stats.RefsScanned++
+		return
+	}
+	if t.check(c) {
+		t.heap.SetRefAt(obj, off, vmheap.Nil)
+	}
+}
+
+// encounterArraySlot processes array element i of obj.
+func (t *Tracer) encounterArraySlot(obj vmheap.Ref, i uint32) {
+	c := vmheap.Ref(t.heap.ArrayWord(obj, i))
+	if c == vmheap.Nil {
+		t.stats.RefsScanned++
+		return
+	}
+	if t.check(c) {
+		t.heap.SetArrayWord(obj, i, 0)
+	}
+}
+
+// encounter processes a root slot.
+func (t *Tracer) encounter(slot *vmheap.Ref) {
+	c := *slot
+	if c == vmheap.Nil {
+		return
+	}
+	if t.check(c) {
+		*slot = vmheap.Nil
+	}
+}
+
+// check runs the per-encounter assertion checks on c and, if c is unmarked,
+// marks it, counts it, and pushes it on the worklist. It returns true when
+// the Force action requires the caller to null the reference it followed.
+func (t *Tracer) check(c vmheap.Ref) (forceNull bool) {
+	h := t.heap
+	t.stats.RefsScanned++
+	hd := h.Header(c)
+
+	// Dead check: a single bit test on the already-loaded header word, on
+	// every encounter (the Force action must null every incoming
+	// reference, not just the first).
+	if hd&vmheap.FlagDead != 0 {
+		t.stats.DeadHits++
+		if t.checks.Dead != nil {
+			if t.checks.Dead(c, func() []vmheap.Ref { return t.CurrentPath(c) }) == report.Force {
+				t.stats.ForcedRefs++
+				return true
+			}
+		}
+	}
+
+	if hd&vmheap.FlagMark != 0 {
+		// Second (or later) encounter: the unshared check.
+		if hd&vmheap.FlagUnshared != 0 {
+			t.stats.SharedHits++
+			if t.checks.Shared != nil {
+				t.checks.Shared(c, func() []vmheap.Ref { return t.CurrentPath(c) })
+			}
+		}
+		return false
+	}
+
+	// First visit.
+	h.SetFlags(c, vmheap.FlagMark)
+	t.stats.Visited++
+
+	// Instance counting for assert-instances.
+	class := h.ClassID(c)
+	if t.reg.Tracked(class) {
+		t.reg.CountInstance(class)
+	}
+
+	// Root-phase ownership check: a reachable ownee must carry the owned
+	// bit left by the ownership phase.
+	if hd&vmheap.FlagOwnee != 0 {
+		t.stats.OwneesChecked++
+		if hd&vmheap.FlagOwned == 0 && t.checks.Unowned != nil {
+			t.checks.Unowned(c, func() []vmheap.Ref { return t.CurrentPath(c) })
+		}
+	}
+
+	t.stack = append(t.stack, uint32(c))
+	return false
+}
+
+// CurrentPath reconstructs the root-to-object path for the object currently
+// being encountered: the open (low-bit-tagged) worklist entries bottom to
+// top, followed by the object itself. During root scanning the path is just
+// the object.
+func (t *Tracer) CurrentPath(obj vmheap.Ref) []vmheap.Ref {
+	var path []vmheap.Ref
+	for _, e := range t.stack {
+		if e&1 != 0 {
+			path = append(path, vmheap.Ref(e&^1))
+		}
+	}
+	return append(path, obj)
+}

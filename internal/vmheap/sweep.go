@@ -1,0 +1,114 @@
+package vmheap
+
+import "fmt"
+
+// SweepStats summarizes one sweep pass.
+type SweepStats struct {
+	LiveObjects  uint64 // objects that survived (were marked)
+	LiveWords    uint64
+	FreedObjects uint64 // unmarked objects reclaimed this sweep
+	FreedWords   uint64
+	FreeChunks   uint64 // free-list chunks after coalescing
+}
+
+// SweepOptions controls a sweep pass.
+type SweepOptions struct {
+	// OnFree, if non-nil, is called for every object reclaimed by the
+	// sweep, with its Ref and header as they were before reclamation.
+	// The assertion engine uses this to purge owner/ownee tables and
+	// region queues that refer to reclaimed objects. OnFree must not
+	// allocate from this heap.
+	OnFree func(r Ref, header uint64)
+	// OnLive, if non-nil, is called for every surviving object. It must
+	// not allocate from this heap.
+	OnLive func(r Ref, header uint64)
+	// ClearFlags is a mask of flag bits to clear on surviving objects in
+	// addition to the mark bit (for example FlagOwned between cycles).
+	ClearFlags uint64
+	// SetFlags is a mask of flag bits to set on surviving objects (the
+	// generational collector promotes survivors with FlagMature).
+	SetFlags uint64
+	// Immature restricts the sweep to objects without FlagMature: mature
+	// objects are treated as live regardless of their mark bit. Used by
+	// the generational collector's minor collections.
+	Immature bool
+}
+
+// Sweep performs the sweep phase of a mark-sweep collection: it walks the
+// heap linearly, reclaims every unmarked object, coalesces adjacent free
+// chunks, rebuilds the free lists from scratch, and clears the mark bit on
+// survivors. It returns statistics for the pass.
+//
+// Sweep assumes a trace has just run: surviving objects have FlagMark set.
+func (h *Heap) Sweep(opts SweepOptions) SweepStats {
+	var st SweepStats
+	h.resetFreeLists()
+
+	addr := uint32(heapBase)
+	end := uint32(len(h.words))
+	runStart := uint32(0) // start of the current run of free words; 0 = none
+	runLen := uint32(0)
+
+	flush := func() {
+		if runLen == 0 {
+			return
+		}
+		h.installChunk(Ref(runStart), runLen)
+		st.FreeChunks++
+		runStart, runLen = 0, 0
+	}
+
+	for addr < end {
+		hd := h.words[addr]
+		size := headerSize(hd)
+		if size == 0 || addr+size > end {
+			panic(fmt.Sprintf("vmheap: corrupt header at %d during sweep: %#x", addr, hd))
+		}
+		switch {
+		case hd&FlagFree != 0:
+			// Existing free chunk: absorb into the current run.
+			if runLen == 0 {
+				runStart = addr
+			}
+			runLen += size
+
+		case hd&FlagMark != 0 || (opts.Immature && hd&FlagMature != 0):
+			// Survivor.
+			if opts.OnLive != nil {
+				opts.OnLive(Ref(addr), hd)
+			}
+			h.words[addr] = (hd &^ (FlagMark | opts.ClearFlags)) | opts.SetFlags
+			st.LiveObjects++
+			st.LiveWords += uint64(size)
+			flush()
+
+		default:
+			// Garbage: reclaim.
+			if opts.OnFree != nil {
+				opts.OnFree(Ref(addr), hd)
+			}
+			if runLen == 0 {
+				runStart = addr
+			}
+			runLen += size
+			st.FreedObjects++
+			st.FreedWords += uint64(size)
+		}
+		addr += size
+	}
+	flush()
+
+	h.liveObjs = st.LiveObjects
+	h.liveWords = st.LiveWords
+	h.freeWords = h.CapacityWords() - st.LiveWords
+	return st
+}
+
+// ClearMarks clears the mark bit (and any extra bits in mask) on every
+// object without sweeping. Used by tools and tests that trace the heap
+// outside a collection.
+func (h *Heap) ClearMarks(mask uint64) {
+	h.Iterate(func(r Ref, _ uint64) {
+		h.ClearFlags(r, FlagMark|mask)
+	})
+}

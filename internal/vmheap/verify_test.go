@@ -1,0 +1,126 @@
+package vmheap
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixedLayout says every object of any class has ref fields at the given
+// offsets.
+type fixedLayout []uint16
+
+func (f fixedLayout) RefOffsets(uint32) []uint16 { return f }
+
+func TestVerifyHealthyHeap(t *testing.T) {
+	h := New(2048)
+	var refs []Ref
+	for i := 0; i < 20; i++ {
+		r, err := h.Alloc(KindScalar, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, r)
+	}
+	// Wire valid references.
+	for i, r := range refs {
+		h.SetRefAt(r, 1, refs[(i+1)%len(refs)])
+	}
+	// Free half of them and sweep.
+	for i, r := range refs {
+		if i%2 == 0 {
+			h.SetFlags(r, FlagMark)
+		}
+	}
+	// Clear now-dangling refs before the sweep.
+	for i, r := range refs {
+		if i%2 == 0 {
+			h.SetRefAt(r, 1, Nil)
+		}
+	}
+	h.Sweep(SweepOptions{})
+	if errs := h.Verify(fixedLayout{1}); len(errs) != 0 {
+		t.Fatalf("healthy heap failed verify: %v", errs)
+	}
+}
+
+func TestVerifyNilLayoutSkipsRefChecks(t *testing.T) {
+	h := New(1024)
+	r, _ := h.Alloc(KindScalar, 1, 2)
+	h.SetRefAt(r, 1, Ref(999)) // would be dangling
+	if errs := h.Verify(nil); len(errs) != 0 {
+		t.Errorf("nil layout still checked refs: %v", errs)
+	}
+}
+
+func TestVerifyDetectsDanglingRef(t *testing.T) {
+	h := New(1024)
+	a, _ := h.Alloc(KindScalar, 1, 2)
+	b, _ := h.Alloc(KindScalar, 1, 2)
+	h.SetRefAt(a, 1, b)
+	// Kill b via sweep (a marked, b not) but leave a's ref in place.
+	h.SetFlags(a, FlagMark)
+	h.Sweep(SweepOptions{})
+	errs := h.Verify(fixedLayout{1})
+	if !containsErr(errs, "dangling") {
+		t.Errorf("dangling ref not detected: %v", errs)
+	}
+}
+
+func TestVerifyDetectsUnalignedRef(t *testing.T) {
+	h := New(1024)
+	a, _ := h.Alloc(KindScalar, 1, 2)
+	h.SetRefAt(a, 1, Ref(7))
+	if errs := h.Verify(fixedLayout{1}); !containsErr(errs, "unaligned") {
+		t.Errorf("unaligned ref not detected: %v", errs)
+	}
+}
+
+func TestVerifyDetectsStaleMark(t *testing.T) {
+	h := New(1024)
+	r, _ := h.Alloc(KindScalar, 1, 1)
+	h.SetFlags(r, FlagMark)
+	if errs := h.Verify(nil); !containsErr(errs, "stale mark") {
+		t.Errorf("stale mark not detected: %v", errs)
+	}
+}
+
+func TestVerifyDetectsBrokenAccounting(t *testing.T) {
+	h := New(1024)
+	h.Alloc(KindScalar, 1, 1)
+	h.liveWords++ // corrupt the counter
+	if errs := h.Verify(nil); !containsErr(errs, "live accounting") {
+		t.Errorf("accounting corruption not detected: %v", errs)
+	}
+	h.liveWords--
+}
+
+func TestVerifyDetectsRefArrayDangling(t *testing.T) {
+	h := New(1024)
+	arr, _ := h.Alloc(KindRefArray, 0, 3)
+	victim, _ := h.Alloc(KindScalar, 1, 1)
+	h.SetArrayWord(arr, 0, uint64(victim))
+	h.SetFlags(arr, FlagMark)
+	h.Sweep(SweepOptions{}) // victim dies; arr element dangles
+	if errs := h.Verify(nil); !containsErr(errs, "dangling") {
+		t.Errorf("array dangling ref not detected: %v", errs)
+	}
+}
+
+func TestVerifyDetectsCorruptHeader(t *testing.T) {
+	h := New(1024)
+	r, _ := h.Alloc(KindScalar, 1, 1)
+	h.words[r] = 0 // zero-size header
+	errs := h.Verify(nil)
+	if !containsErr(errs, "zero-size") {
+		t.Errorf("corrupt header not detected: %v", errs)
+	}
+}
+
+func containsErr(errs []error, substr string) bool {
+	for _, e := range errs {
+		if strings.Contains(e.Error(), substr) {
+			return true
+		}
+	}
+	return false
+}

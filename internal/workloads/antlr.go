@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+func init() { register(func() Workload { return newAntlr() }) }
+
+// antlr models the DaCapo parser generator: per iteration it "parses"
+// a batch of files — tokenizing into short-lived token chains and building
+// deep abstract-syntax trees that are walked once and discarded. A
+// long-lived grammar (rule table) persists across iterations. The profile
+// is tree-heavy: deep pointer chains with modest fan-out and high turnover.
+type antlr struct {
+	r *rand.Rand
+
+	node  *core.Class
+	token *core.Class
+	rule  *core.Class
+
+	nLeft, nRight, nTok uint16
+	tNext, tKind        uint16
+	rBody               uint16
+
+	grammar *core.Global
+}
+
+func newAntlr() *antlr { return &antlr{r: rng("antlr")} }
+
+func (w *antlr) Name() string   { return "antlr" }
+func (w *antlr) HeapWords() int { return 1 << 16 }
+
+func (w *antlr) Setup(rt *core.Runtime, th *core.Thread) {
+	w.token = rt.DefineClass("antlr.Token",
+		core.RefField("next"), core.DataField("kind"))
+	w.tNext = w.token.MustFieldIndex("next")
+	w.tKind = w.token.MustFieldIndex("kind")
+
+	w.node = rt.DefineClass("antlr.ASTNode",
+		core.RefField("left"), core.RefField("right"), core.RefField("tok"))
+	w.nLeft = w.node.MustFieldIndex("left")
+	w.nRight = w.node.MustFieldIndex("right")
+	w.nTok = w.node.MustFieldIndex("tok")
+
+	w.rule = rt.DefineClass("antlr.Rule", core.RefField("body"), core.DataField("id"))
+	w.rBody = w.rule.MustFieldIndex("body")
+
+	// Long-lived grammar: 200 rules, each holding a small template tree.
+	w.grammar = rt.AddGlobal("antlr.grammar")
+	rules := th.NewRefArray(200)
+	w.grammar.Set(rules)
+	for i := 0; i < 200; i++ {
+		f := th.PushFrame(1)
+		rule := th.New(w.rule)
+		f.SetLocal(0, rule)
+		body := w.buildTree(rt, th, 4)
+		rt.SetRef(rule, w.rBody, body)
+		rt.ArrSetRef(rules, i, f.Local(0))
+		th.PopFrame()
+	}
+}
+
+// buildTree builds a random binary tree of the given depth, returning its
+// root. The tree is pinned bottom-up through frame slots.
+func (w *antlr) buildTree(rt *core.Runtime, th *core.Thread, depth int) core.Ref {
+	if depth == 0 {
+		return core.Nil
+	}
+	f := th.PushFrame(3)
+	defer th.PopFrame()
+	left := w.buildTree(rt, th, depth-1)
+	f.SetLocal(0, left)
+	right := w.buildTree(rt, th, depth-1)
+	f.SetLocal(1, right)
+	tok := th.New(w.token)
+	rt.SetInt(tok, w.tKind, int64(w.r.Intn(64)))
+	f.SetLocal(2, tok)
+	n := th.New(w.node)
+	rt.SetRef(n, w.nLeft, f.Local(0))
+	rt.SetRef(n, w.nRight, f.Local(1))
+	rt.SetRef(n, w.nTok, f.Local(2))
+	return n
+}
+
+func (w *antlr) Iterate(rt *core.Runtime, th *core.Thread) {
+	var sum uint64
+	for file := 0; file < 12; file++ {
+		f := th.PushFrame(2)
+
+		// Tokenize: a short-lived chain of ~300 tokens.
+		var head core.Ref
+		for i := 0; i < 300; i++ {
+			f.SetLocal(0, head)
+			tok := th.New(w.token)
+			rt.SetRef(tok, w.tNext, f.Local(0))
+			rt.SetInt(tok, w.tKind, int64(w.r.Intn(64)))
+			head = tok
+		}
+		f.SetLocal(0, head)
+
+		// Parse: a deep AST (depth 9 => ~500 nodes), walked then dropped.
+		ast := w.buildTree(rt, th, 9)
+		f.SetLocal(1, ast)
+		sum = w.walk(rt, f.Local(1), sum)
+
+		th.PopFrame()
+	}
+	_ = sum
+}
+
+// walk folds token kinds into a checksum.
+func (w *antlr) walk(rt *core.Runtime, n core.Ref, sum uint64) uint64 {
+	if n == core.Nil {
+		return sum
+	}
+	sum = w.walk(rt, rt.GetRef(n, w.nLeft), sum)
+	if tok := rt.GetRef(n, w.nTok); tok != core.Nil {
+		sum = checksum(sum, uint64(rt.GetInt(tok, w.tKind)))
+	}
+	return w.walk(rt, rt.GetRef(n, w.nRight), sum)
+}

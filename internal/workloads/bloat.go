@@ -1,0 +1,141 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+func init() { register(func() Workload { return newBloat() }) }
+
+// bloat models the DaCapo bytecode optimizer: a long-lived pool of
+// control-flow graphs with dense cross and back edges that are repeatedly
+// rewritten in place — blocks replaced by freshly allocated ones, edges
+// re-linked. It is the most pointer-rich workload in the suite; the paper
+// measures its worst-case GC-time overhead (+30%) on exactly this kind of
+// heap, where the trace loop's per-reference work dominates.
+type bloat struct {
+	r *rand.Rand
+
+	block *core.Class
+	edges uint16 // block.edges -> ref array
+	bID   uint16
+
+	method *core.Class
+	blocks uint16 // method.blocks -> ref array
+
+	pool *core.Global
+}
+
+const (
+	bloatMethods  = 60
+	bloatBlocks   = 64 // blocks per method
+	bloatFanout   = 6  // out-edges per block
+	bloatRewrites = 60 // rewrites per iteration
+)
+
+func newBloat() *bloat { return &bloat{r: rng("bloat")} }
+
+func (w *bloat) Name() string   { return "bloat" }
+func (w *bloat) HeapWords() int { return 144 << 10 }
+
+func (w *bloat) Setup(rt *core.Runtime, th *core.Thread) {
+	w.block = rt.DefineClass("bloat.Block",
+		core.RefField("edges"), core.DataField("id"))
+	w.edges = w.block.MustFieldIndex("edges")
+	w.bID = w.block.MustFieldIndex("id")
+
+	w.method = rt.DefineClass("bloat.Method", core.RefField("blocks"))
+	w.blocks = w.method.MustFieldIndex("blocks")
+
+	w.pool = rt.AddGlobal("bloat.pool")
+	pool := th.NewRefArray(bloatMethods)
+	w.pool.Set(pool)
+	for m := 0; m < bloatMethods; m++ {
+		f := th.PushFrame(2)
+		meth := th.New(w.method)
+		f.SetLocal(0, meth)
+		blocks := th.NewRefArray(bloatBlocks)
+		rt.SetRef(meth, w.blocks, blocks)
+		for b := 0; b < bloatBlocks; b++ {
+			rt.ArrSetRef(blocks, b, w.newBlock(rt, th, int64(b)))
+		}
+		// Wire dense random edges (cross and back edges included).
+		w.rewire(rt, f.Local(0))
+		rt.ArrSetRef(pool, m, f.Local(0))
+		th.PopFrame()
+	}
+}
+
+// newBlock allocates a block with an empty edge array.
+func (w *bloat) newBlock(rt *core.Runtime, th *core.Thread, id int64) core.Ref {
+	f := th.PushFrame(1)
+	defer th.PopFrame()
+	b := th.New(w.block)
+	f.SetLocal(0, b)
+	e := th.NewRefArray(bloatFanout)
+	rt.SetRef(b, w.edges, e)
+	rt.SetInt(b, w.bID, id)
+	return f.Local(0)
+}
+
+// rewire points every block's edges at random peer blocks.
+func (w *bloat) rewire(rt *core.Runtime, meth core.Ref) {
+	blocks := rt.GetRef(meth, w.blocks)
+	for b := 0; b < bloatBlocks; b++ {
+		blk := rt.ArrGetRef(blocks, b)
+		e := rt.GetRef(blk, w.edges)
+		for i := 0; i < bloatFanout; i++ {
+			rt.ArrSetRef(e, i, rt.ArrGetRef(blocks, w.r.Intn(bloatBlocks)))
+		}
+	}
+}
+
+func (w *bloat) Iterate(rt *core.Runtime, th *core.Thread) {
+	pool := w.pool.Get()
+	var sum uint64
+	for n := 0; n < bloatRewrites; n++ {
+		meth := rt.ArrGetRef(pool, w.r.Intn(bloatMethods))
+		blocks := rt.GetRef(meth, w.blocks)
+
+		// Replace a batch of blocks with fresh ones, inheriting edges.
+		for k := 0; k < 24; k++ {
+			i := w.r.Intn(bloatBlocks)
+			old := rt.ArrGetRef(blocks, i)
+			nb := w.newBlock(rt, th, rt.GetInt(old, w.bID)+1)
+			// Copy edges from the old block.
+			oe := rt.GetRef(old, w.edges)
+			ne := rt.GetRef(nb, w.edges)
+			for j := 0; j < bloatFanout; j++ {
+				rt.ArrSetRef(ne, j, rt.ArrGetRef(oe, j))
+			}
+			rt.ArrSetRef(blocks, i, nb)
+		}
+		w.rewire(rt, meth)
+
+		// Depth-first traversal over the pointer-dense graph.
+		sum = w.traverse(rt, blocks, sum)
+	}
+	_ = sum
+}
+
+// traverse walks the whole method graph from block 0 following edges,
+// using a visited set keyed by block id modulo table size.
+func (w *bloat) traverse(rt *core.Runtime, blocks core.Ref, sum uint64) uint64 {
+	visited := make(map[core.Ref]bool, bloatBlocks)
+	stack := []core.Ref{rt.ArrGetRef(blocks, 0)}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == core.Nil || visited[b] {
+			continue
+		}
+		visited[b] = true
+		sum = checksum(sum, uint64(rt.GetInt(b, w.bID)))
+		e := rt.GetRef(b, w.edges)
+		for i := 0; i < bloatFanout; i++ {
+			stack = append(stack, rt.ArrGetRef(e, i))
+		}
+	}
+	return sum
+}

@@ -1,0 +1,107 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+func init() { register(func() Workload { return newChart() }) }
+
+// chart models the DaCapo plotting benchmark: iterations build data series
+// (arrays of point objects), run a "render" pass that aggregates them, and
+// retain a rolling window of recent charts — a medium-lifetime profile
+// between pure churn and permanent data.
+type chart struct {
+	r *rand.Rand
+
+	point  *core.Class
+	pX, pY uint16
+
+	series *core.Class
+	sData  uint16
+	sNext  uint16
+
+	window *core.Global
+	cursor int
+}
+
+const (
+	chartWindow  = 16  // charts retained
+	chartSeries  = 6   // series per chart
+	chartPoints  = 256 // points per series
+	chartPerIter = 4   // charts built per iteration
+)
+
+func newChart() *chart { return &chart{r: rng("chart")} }
+
+func (w *chart) Name() string   { return "chart" }
+func (w *chart) HeapWords() int { return 192 << 10 }
+
+func (w *chart) Setup(rt *core.Runtime, th *core.Thread) {
+	w.point = rt.DefineClass("chart.Point",
+		core.DataField("x"), core.DataField("y"))
+	w.pX = w.point.MustFieldIndex("x")
+	w.pY = w.point.MustFieldIndex("y")
+
+	w.series = rt.DefineClass("chart.Series",
+		core.RefField("data"), core.RefField("next"))
+	w.sData = w.series.MustFieldIndex("data")
+	w.sNext = w.series.MustFieldIndex("next")
+
+	w.window = rt.AddGlobal("chart.window")
+	w.window.Set(th.NewRefArray(chartWindow))
+}
+
+// buildChart creates a linked list of series, each holding an array of
+// point objects.
+func (w *chart) buildChart(rt *core.Runtime, th *core.Thread) core.Ref {
+	f := th.PushFrame(3)
+	defer th.PopFrame()
+	var head core.Ref
+	for s := 0; s < chartSeries; s++ {
+		f.SetLocal(0, head)
+		ser := th.New(w.series)
+		f.SetLocal(1, ser)
+		data := th.NewRefArray(chartPoints)
+		rt.SetRef(ser, w.sData, data)
+		rt.SetRef(ser, w.sNext, f.Local(0))
+		for i := 0; i < chartPoints; i++ {
+			p := th.New(w.point)
+			rt.SetInt(p, w.pX, int64(i))
+			rt.SetInt(p, w.pY, int64(w.r.Intn(1000)))
+			data = rt.GetRef(f.Local(1), w.sData)
+			rt.ArrSetRef(data, i, p)
+		}
+		head = f.Local(1)
+	}
+	return head
+}
+
+// render aggregates every point in the chart.
+func (w *chart) render(rt *core.Runtime, chart core.Ref, sum uint64) uint64 {
+	for s := chart; s != core.Nil; s = rt.GetRef(s, w.sNext) {
+		data := rt.GetRef(s, w.sData)
+		for i := 0; i < chartPoints; i++ {
+			p := rt.ArrGetRef(data, i)
+			sum = checksum(sum, uint64(rt.GetInt(p, w.pX))^uint64(rt.GetInt(p, w.pY)))
+		}
+	}
+	return sum
+}
+
+func (w *chart) Iterate(rt *core.Runtime, th *core.Thread) {
+	window := w.window.Get()
+	var sum uint64
+	for c := 0; c < chartPerIter; c++ {
+		f := th.PushFrame(1)
+		ch := w.buildChart(rt, th)
+		f.SetLocal(0, ch)
+		sum = w.render(rt, f.Local(0), sum)
+		// Retain in the rolling window, evicting the oldest.
+		rt.ArrSetRef(window, w.cursor, f.Local(0))
+		w.cursor = (w.cursor + 1) % chartWindow
+		th.PopFrame()
+	}
+	_ = sum
+}

@@ -1,0 +1,73 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+func init() { register(func() Workload { return newCompress() }) }
+
+// compress models SPEC JVM98 _201_compress: LZW-style compression over
+// large byte buffers. The heap is almost entirely data arrays with a
+// long-lived dictionary and essentially no pointer structure — the profile
+// where the assertion infrastructure's per-reference checks have the least
+// to bite on (the paper's low end of Figure 3).
+type compress struct {
+	r *rand.Rand
+
+	dict *core.Global // hash dictionary, data array
+}
+
+const (
+	compressBufWords = 8192
+	compressDictSize = 1 << 13
+	compressBlocks   = 6
+)
+
+func newCompress() *compress { return &compress{r: rng("compress")} }
+
+func (w *compress) Name() string   { return "compress" }
+func (w *compress) HeapWords() int { return 1 << 16 }
+
+func (w *compress) Setup(rt *core.Runtime, th *core.Thread) {
+	w.dict = rt.AddGlobal("compress.dict")
+	w.dict.Set(th.NewDataArray(compressDictSize))
+}
+
+func (w *compress) Iterate(rt *core.Runtime, th *core.Thread) {
+	dict := w.dict.Get()
+	var sum uint64
+	for b := 0; b < compressBlocks; b++ {
+		f := th.PushFrame(2)
+		// Input block: pseudo-random but compressible data.
+		in := th.NewDataArray(compressBufWords)
+		f.SetLocal(0, in)
+		for i := 0; i < compressBufWords; i++ {
+			rt.ArrSetData(in, i, uint64(w.r.Intn(64)))
+		}
+		out := th.NewDataArray(compressBufWords)
+		f.SetLocal(1, out)
+		in = f.Local(0)
+
+		// LZW-ish pass: roll a code over the dictionary.
+		code := uint64(1)
+		oi := 0
+		for i := 0; i < compressBufWords; i++ {
+			sym := rt.ArrGetData(in, i)
+			code = (code*33 + sym) % compressDictSize
+			prev := rt.ArrGetData(dict, int(code))
+			if prev == code {
+				continue // "in dictionary": emit nothing
+			}
+			rt.ArrSetData(dict, int(code), code)
+			rt.ArrSetData(out, oi, code)
+			oi++
+		}
+		for i := 0; i < oi; i++ {
+			sum = checksum(sum, rt.ArrGetData(out, i))
+		}
+		th.PopFrame()
+	}
+	_ = sum
+}

@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+func init() { register(func() Workload { return newFop() }) }
+
+// fop models the DaCapo print formatter: each iteration builds one
+// formatting-object tree carrying text strings, runs a layout pass that
+// produces a second (area) tree referencing the first, serializes it, and
+// drops both. Two whole trees per document with string payloads — a
+// bulk-allocation, bulk-death profile.
+type fop struct {
+	r *rand.Rand
+
+	fo     *core.Class
+	foKids uint16
+	foText uint16
+
+	area     *core.Class
+	areaKids uint16
+	areaSrc  uint16
+	areaW    uint16
+}
+
+const (
+	fopFanout = 5
+	fopDepth  = 5
+	fopDocs   = 3
+)
+
+func newFop() *fop { return &fop{r: rng("fop")} }
+
+func (w *fop) Name() string   { return "fop" }
+func (w *fop) HeapWords() int { return 1 << 17 }
+
+func (w *fop) Setup(rt *core.Runtime, th *core.Thread) {
+	w.fo = rt.DefineClass("fop.FONode",
+		core.RefField("children"), core.RefField("text"))
+	w.foKids = w.fo.MustFieldIndex("children")
+	w.foText = w.fo.MustFieldIndex("text")
+
+	w.area = rt.DefineClass("fop.Area",
+		core.RefField("children"), core.RefField("source"), core.DataField("width"))
+	w.areaKids = w.area.MustFieldIndex("children")
+	w.areaSrc = w.area.MustFieldIndex("source")
+	w.areaW = w.area.MustFieldIndex("width")
+}
+
+// buildFO builds the formatting-object tree.
+func (w *fop) buildFO(rt *core.Runtime, th *core.Thread, depth int) core.Ref {
+	f := th.PushFrame(3)
+	defer th.PopFrame()
+	n := th.New(w.fo)
+	f.SetLocal(0, n)
+	text := th.NewString(sentence(w.r, 4))
+	rt.SetRef(f.Local(0), w.foText, text)
+	if depth > 0 {
+		kids := th.NewRefArray(fopFanout)
+		rt.SetRef(f.Local(0), w.foKids, kids)
+		for i := 0; i < fopFanout; i++ {
+			child := w.buildFO(rt, th, depth-1)
+			f.SetLocal(1, child)
+			kids = rt.GetRef(f.Local(0), w.foKids)
+			rt.ArrSetRef(kids, i, f.Local(1))
+		}
+	}
+	return f.Local(0)
+}
+
+// layout produces the area tree mirroring the FO tree.
+func (w *fop) layout(rt *core.Runtime, th *core.Thread, fo core.Ref) core.Ref {
+	f := th.PushFrame(3)
+	defer th.PopFrame()
+	f.SetLocal(0, fo)
+	a := th.New(w.area)
+	f.SetLocal(1, a)
+	rt.SetRef(a, w.areaSrc, f.Local(0))
+	text := rt.GetRef(f.Local(0), w.foText)
+	rt.SetInt(a, w.areaW, int64(rt.StringLen(text))*6)
+
+	kids := rt.GetRef(f.Local(0), w.foKids)
+	if kids != core.Nil {
+		n := rt.ArrLen(kids)
+		akids := th.NewRefArray(n)
+		rt.SetRef(f.Local(1), w.areaKids, akids)
+		for i := 0; i < n; i++ {
+			child := w.layout(rt, th, rt.ArrGetRef(rt.GetRef(f.Local(0), w.foKids), i))
+			f.SetLocal(2, child)
+			rt.ArrSetRef(rt.GetRef(f.Local(1), w.areaKids), i, f.Local(2))
+		}
+	}
+	return f.Local(1)
+}
+
+// serialize folds the area tree into a checksum.
+func (w *fop) serialize(rt *core.Runtime, a core.Ref, sum uint64) uint64 {
+	sum = checksum(sum, uint64(rt.GetInt(a, w.areaW)))
+	kids := rt.GetRef(a, w.areaKids)
+	if kids != core.Nil {
+		for i, n := 0, rt.ArrLen(kids); i < n; i++ {
+			sum = w.serialize(rt, rt.ArrGetRef(kids, i), sum)
+		}
+	}
+	return sum
+}
+
+func (w *fop) Iterate(rt *core.Runtime, th *core.Thread) {
+	var sum uint64
+	for d := 0; d < fopDocs; d++ {
+		f := th.PushFrame(2)
+		fo := w.buildFO(rt, th, fopDepth)
+		f.SetLocal(0, fo)
+		area := w.layout(rt, th, f.Local(0))
+		f.SetLocal(1, area)
+		sum = w.serialize(rt, f.Local(1), sum)
+		th.PopFrame()
+	}
+	_ = sum
+}

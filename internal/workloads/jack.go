@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+func init() { register(func() Workload { return newJack() }) }
+
+// jack models SPEC JVM98 _228_jack (a parser generator run repeatedly on
+// its own grammar): heavy token-stream churn with string payloads and
+// repeated regeneration of the same output — bursts of string allocation,
+// short token chains, everything dead at the end of each generation.
+type jack struct {
+	r *rand.Rand
+
+	token *core.Class
+	tText uint16
+	tNext uint16
+	tKind uint16
+
+	grammar *core.Global // data array of production lengths
+}
+
+const (
+	jackProductions = 128
+	jackGenerations = 6
+)
+
+func newJack() *jack { return &jack{r: rng("jack")} }
+
+func (w *jack) Name() string   { return "jack" }
+func (w *jack) HeapWords() int { return 1 << 16 }
+
+func (w *jack) Setup(rt *core.Runtime, th *core.Thread) {
+	w.token = rt.DefineClass("jack.Token",
+		core.RefField("text"), core.RefField("next"), core.DataField("kind"))
+	w.tText = w.token.MustFieldIndex("text")
+	w.tNext = w.token.MustFieldIndex("next")
+	w.tKind = w.token.MustFieldIndex("kind")
+
+	w.grammar = rt.AddGlobal("jack.grammar")
+	g := th.NewDataArray(jackProductions)
+	w.grammar.Set(g)
+	for i := 0; i < jackProductions; i++ {
+		rt.ArrSetData(g, i, uint64(w.r.Intn(12)+2))
+	}
+}
+
+func (w *jack) Iterate(rt *core.Runtime, th *core.Thread) {
+	g := w.grammar.Get()
+	var sum uint64
+	// The original runs the generator on the same input repeatedly.
+	for gen := 0; gen < jackGenerations; gen++ {
+		f := th.PushFrame(3)
+		var stream core.Ref
+		// Tokenize every production into a single stream.
+		for p := 0; p < jackProductions; p++ {
+			n := int(rt.ArrGetData(g, p))
+			for i := 0; i < n; i++ {
+				f.SetLocal(0, stream)
+				text := th.NewString(words[w.r.Intn(len(words))])
+				f.SetLocal(1, text)
+				tok := th.New(w.token)
+				rt.SetRef(tok, w.tText, f.Local(1))
+				rt.SetRef(tok, w.tNext, f.Local(0))
+				rt.SetInt(tok, w.tKind, int64(i))
+				stream = tok
+			}
+		}
+		f.SetLocal(2, stream)
+		// "Generate": consume the stream.
+		for t := f.Local(2); t != core.Nil; t = rt.GetRef(t, w.tNext) {
+			text := rt.GetRef(t, w.tText)
+			sum = checksum(sum, uint64(rt.StringLen(text))^uint64(rt.GetInt(t, w.tKind)))
+		}
+		th.PopFrame()
+	}
+	_ = sum
+}

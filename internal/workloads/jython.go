@@ -1,0 +1,110 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+func init() { register(func() Workload { return newJython() }) }
+
+// jython models the DaCapo Python interpreter: an extreme allocation rate
+// of tiny short-lived objects — interpreter frames with local slots, boxed
+// integers, and small tuples — almost all dead by the next collection.
+// This is the nursery-churn profile: high allocation volume, minimal live
+// data.
+type jython struct {
+	r *rand.Rand
+
+	frame  *core.Class
+	fLoc   uint16
+	fDepth uint16
+
+	boxed *core.Class
+	bVal  uint16
+
+	tuple *core.Class
+	tA    uint16
+	tB    uint16
+
+	modules *core.Global
+}
+
+const (
+	jythonCalls = 600
+	jythonOps   = 30
+)
+
+func newJython() *jython { return &jython{r: rng("jython")} }
+
+func (w *jython) Name() string   { return "jython" }
+func (w *jython) HeapWords() int { return 1 << 16 }
+
+func (w *jython) Setup(rt *core.Runtime, th *core.Thread) {
+	w.frame = rt.DefineClass("jython.Frame",
+		core.RefField("locals"), core.DataField("depth"))
+	w.fLoc = w.frame.MustFieldIndex("locals")
+	w.fDepth = w.frame.MustFieldIndex("depth")
+
+	w.boxed = rt.DefineClass("jython.Int", core.DataField("val"))
+	w.bVal = w.boxed.MustFieldIndex("val")
+
+	w.tuple = rt.DefineClass("jython.Tuple2",
+		core.RefField("a"), core.RefField("b"))
+	w.tA = w.tuple.MustFieldIndex("a")
+	w.tB = w.tuple.MustFieldIndex("b")
+
+	// A small long-lived module table (interned constants).
+	w.modules = rt.AddGlobal("jython.modules")
+	consts := th.NewRefArray(256)
+	w.modules.Set(consts)
+	for i := 0; i < 256; i++ {
+		b := th.New(w.boxed)
+		rt.SetInt(b, w.bVal, int64(i))
+		rt.ArrSetRef(consts, i, b)
+	}
+}
+
+// call simulates one interpreted function call: allocate a frame, fill its
+// locals with boxed values and tuples, "execute" arithmetic, return.
+func (w *jython) call(rt *core.Runtime, th *core.Thread, depth int64, sum uint64) uint64 {
+	f := th.PushFrame(2)
+	defer th.PopFrame()
+	fr := th.New(w.frame)
+	f.SetLocal(0, fr)
+	locals := th.NewRefArray(8)
+	rt.SetRef(f.Local(0), w.fLoc, locals)
+	rt.SetInt(f.Local(0), w.fDepth, depth)
+
+	consts := w.modules.Get()
+	for op := 0; op < jythonOps; op++ {
+		locals = rt.GetRef(f.Local(0), w.fLoc)
+		switch w.r.Intn(3) {
+		case 0: // box an int
+			b := th.New(w.boxed)
+			rt.SetInt(b, w.bVal, int64(w.r.Intn(1000)))
+			rt.ArrSetRef(rt.GetRef(f.Local(0), w.fLoc), w.r.Intn(8), b)
+		case 1: // build a tuple of two locals / constants
+			t := th.New(w.tuple)
+			f.SetLocal(1, t)
+			locals = rt.GetRef(f.Local(0), w.fLoc)
+			rt.SetRef(t, w.tA, rt.ArrGetRef(locals, w.r.Intn(8)))
+			rt.SetRef(t, w.tB, rt.ArrGetRef(consts, w.r.Intn(256)))
+			rt.ArrSetRef(locals, w.r.Intn(8), f.Local(1))
+		case 2: // arithmetic on a local
+			v := rt.ArrGetRef(locals, w.r.Intn(8))
+			if v != core.Nil && rt.ClassOf(v) == w.boxed {
+				sum = checksum(sum, uint64(rt.GetInt(v, w.bVal)))
+			}
+		}
+	}
+	return sum
+}
+
+func (w *jython) Iterate(rt *core.Runtime, th *core.Thread) {
+	var sum uint64
+	for c := 0; c < jythonCalls; c++ {
+		sum = w.call(rt, th, int64(c), sum)
+	}
+	_ = sum
+}

@@ -1,0 +1,61 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+func init() { register(func() Workload { return newMpegaudio() }) }
+
+// mpegaudio models SPEC JVM98 _222_mpegaudio: pure signal-processing over
+// fixed buffers — long-lived filter tables, per-frame scratch arrays, and
+// virtually no pointer structure or garbage. The quietest GC profile in
+// the suite; in the paper it shows the smallest infrastructure overhead.
+type mpegaudio struct {
+	r *rand.Rand
+
+	filters *core.Global // data array of filter coefficients
+}
+
+const (
+	mpegFilterLen = 512
+	mpegFrames    = 40
+	mpegFrameLen  = 1152
+)
+
+func newMpegaudio() *mpegaudio { return &mpegaudio{r: rng("mpegaudio")} }
+
+func (w *mpegaudio) Name() string   { return "mpegaudio" }
+func (w *mpegaudio) HeapWords() int { return 1 << 15 }
+
+func (w *mpegaudio) Setup(rt *core.Runtime, th *core.Thread) {
+	w.filters = rt.AddGlobal("mpeg.filters")
+	filters := th.NewDataArray(mpegFilterLen)
+	w.filters.Set(filters)
+	for i := 0; i < mpegFilterLen; i++ {
+		rt.ArrSetData(filters, i, uint64(w.r.Intn(1<<16)))
+	}
+}
+
+func (w *mpegaudio) Iterate(rt *core.Runtime, th *core.Thread) {
+	filters := w.filters.Get()
+	var sum uint64
+	for frame := 0; frame < mpegFrames; frame++ {
+		f := th.PushFrame(1)
+		buf := th.NewDataArray(mpegFrameLen)
+		f.SetLocal(0, buf)
+		// Synthesize a frame and run the "subband filter".
+		acc := uint64(frame + 1)
+		for i := 0; i < mpegFrameLen; i++ {
+			coef := rt.ArrGetData(filters, i%mpegFilterLen)
+			acc = acc*6364136223846793005 + 1442695040888963407
+			rt.ArrSetData(buf, i, (acc>>33)*coef)
+		}
+		for i := 0; i < mpegFrameLen; i += 7 {
+			sum = checksum(sum, rt.ArrGetData(buf, i))
+		}
+		th.PopFrame()
+	}
+	_ = sum
+}

@@ -1,0 +1,122 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+func init() { register(func() Workload { return newMtrt() }) }
+
+// mtrt models SPEC JVM98 _227_mtrt (multithreaded ray tracer): a small
+// long-lived scene, with ray shooting allocating enormous numbers of
+// short-lived vector and hit-record objects — high allocation rate of tiny
+// uniform objects that die immediately.
+type mtrt struct {
+	r *rand.Rand
+
+	vec        *core.Class
+	vX, vY, vZ uint16
+
+	hit   *core.Class
+	hDist uint16
+	hObj  uint16
+
+	sphere  *core.Class
+	sCenter uint16
+	sRad    uint16
+
+	scene *core.Global
+}
+
+const (
+	mtrtSpheres = 64
+	mtrtRays    = 2500
+)
+
+func newMtrt() *mtrt { return &mtrt{r: rng("mtrt")} }
+
+func (w *mtrt) Name() string   { return "mtrt" }
+func (w *mtrt) HeapWords() int { return 1 << 16 }
+
+func (w *mtrt) Setup(rt *core.Runtime, th *core.Thread) {
+	w.vec = rt.DefineClass("mtrt.Vec",
+		core.DataField("x"), core.DataField("y"), core.DataField("z"))
+	w.vX = w.vec.MustFieldIndex("x")
+	w.vY = w.vec.MustFieldIndex("y")
+	w.vZ = w.vec.MustFieldIndex("z")
+
+	w.hit = rt.DefineClass("mtrt.Hit",
+		core.DataField("dist"), core.RefField("obj"))
+	w.hDist = w.hit.MustFieldIndex("dist")
+	w.hObj = w.hit.MustFieldIndex("obj")
+
+	w.sphere = rt.DefineClass("mtrt.Sphere",
+		core.RefField("center"), core.DataField("radius"))
+	w.sCenter = w.sphere.MustFieldIndex("center")
+	w.sRad = w.sphere.MustFieldIndex("radius")
+
+	w.scene = rt.AddGlobal("mtrt.scene")
+	scene := th.NewRefArray(mtrtSpheres)
+	w.scene.Set(scene)
+	for i := 0; i < mtrtSpheres; i++ {
+		f := th.PushFrame(1)
+		c := w.newVec(rt, th, int64(w.r.Intn(1000)), int64(w.r.Intn(1000)), int64(w.r.Intn(1000)))
+		f.SetLocal(0, c)
+		s := th.New(w.sphere)
+		rt.SetRef(s, w.sCenter, f.Local(0))
+		rt.SetInt(s, w.sRad, int64(w.r.Intn(50)+1))
+		rt.ArrSetRef(scene, i, s)
+		th.PopFrame()
+	}
+}
+
+func (w *mtrt) newVec(rt *core.Runtime, th *core.Thread, x, y, z int64) core.Ref {
+	v := th.New(w.vec)
+	rt.SetInt(v, w.vX, x)
+	rt.SetInt(v, w.vY, y)
+	rt.SetInt(v, w.vZ, z)
+	return v
+}
+
+func (w *mtrt) Iterate(rt *core.Runtime, th *core.Thread) {
+	scene := w.scene.Get()
+	var sum uint64
+	for ray := 0; ray < mtrtRays; ray++ {
+		f := th.PushFrame(3)
+		origin := w.newVec(rt, th, int64(w.r.Intn(1000)), int64(w.r.Intn(1000)), 0)
+		f.SetLocal(0, origin)
+		dir := w.newVec(rt, th, int64(w.r.Intn(100))-50, int64(w.r.Intn(100))-50, 100)
+		f.SetLocal(1, dir)
+
+		// Intersect against every sphere; keep the nearest hit record.
+		var best core.Ref
+		for i := 0; i < mtrtSpheres; i++ {
+			s := rt.ArrGetRef(scene, i)
+			c := rt.GetRef(s, w.sCenter)
+			o := f.Local(0)
+			dx := rt.GetInt(c, w.vX) - rt.GetInt(o, w.vX)
+			dy := rt.GetInt(c, w.vY) - rt.GetInt(o, w.vY)
+			d2 := dx*dx + dy*dy
+			rad := rt.GetInt(s, w.sRad)
+			if d2 > rad*rad*400 {
+				continue // miss
+			}
+			f.SetLocal(2, best)
+			h := th.New(w.hit)
+			rt.SetInt(h, w.hDist, d2)
+			rt.SetRef(h, w.hObj, s)
+			prev := f.Local(2)
+			if prev == core.Nil || rt.GetInt(h, w.hDist) < rt.GetInt(prev, w.hDist) {
+				best = h
+			} else {
+				best = prev
+			}
+		}
+		if best != core.Nil {
+			sum = checksum(sum, uint64(rt.GetInt(best, w.hDist)))
+		}
+		th.PopFrame()
+	}
+	_ = sum
+}

@@ -1,0 +1,140 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+func init() { register(func() Workload { return newXalan() }) }
+
+// xalan models the DaCapo XSLT processor: each iteration parses an input
+// "document" into a DOM-like tree with text payloads, applies long-lived
+// templates to produce an output tree whose nodes reference input text
+// nodes (cross-tree sharing), serializes the output, and drops everything.
+// Two cross-linked trees per transform with string data.
+type xalan struct {
+	r *rand.Rand
+
+	elem  *core.Class
+	eKids uint16
+	eText uint16
+	eTag  uint16
+
+	out   *core.Class
+	oKids uint16
+	oSrc  uint16
+
+	templates *core.Global
+}
+
+const (
+	xalanDepth  = 5
+	xalanFanout = 4
+	xalanDocs   = 4
+)
+
+func newXalan() *xalan { return &xalan{r: rng("xalan")} }
+
+func (w *xalan) Name() string   { return "xalan" }
+func (w *xalan) HeapWords() int { return 1 << 17 }
+
+func (w *xalan) Setup(rt *core.Runtime, th *core.Thread) {
+	w.elem = rt.DefineClass("xalan.Element",
+		core.RefField("children"), core.RefField("text"), core.DataField("tag"))
+	w.eKids = w.elem.MustFieldIndex("children")
+	w.eText = w.elem.MustFieldIndex("text")
+	w.eTag = w.elem.MustFieldIndex("tag")
+
+	w.out = rt.DefineClass("xalan.OutputNode",
+		core.RefField("children"), core.RefField("source"))
+	w.oKids = w.out.MustFieldIndex("children")
+	w.oSrc = w.out.MustFieldIndex("source")
+
+	// Long-lived "stylesheet": tag -> transformation mode table.
+	w.templates = rt.AddGlobal("xalan.templates")
+	modes := th.NewDataArray(64)
+	w.templates.Set(modes)
+	for i := 0; i < 64; i++ {
+		rt.ArrSetData(modes, i, uint64(w.r.Intn(3)))
+	}
+}
+
+func (w *xalan) parse(rt *core.Runtime, th *core.Thread, depth int) core.Ref {
+	f := th.PushFrame(2)
+	defer th.PopFrame()
+	e := th.New(w.elem)
+	f.SetLocal(0, e)
+	rt.SetInt(e, w.eTag, int64(w.r.Intn(64)))
+	text := th.NewString(sentence(w.r, 3))
+	rt.SetRef(f.Local(0), w.eText, text)
+	if depth > 0 {
+		kids := th.NewRefArray(xalanFanout)
+		rt.SetRef(f.Local(0), w.eKids, kids)
+		for i := 0; i < xalanFanout; i++ {
+			c := w.parse(rt, th, depth-1)
+			f.SetLocal(1, c)
+			rt.ArrSetRef(rt.GetRef(f.Local(0), w.eKids), i, f.Local(1))
+		}
+	}
+	return f.Local(0)
+}
+
+// transform applies the stylesheet: output nodes reference input text
+// (mode 0 copies subtree, mode 1 references, mode 2 drops).
+func (w *xalan) transform(rt *core.Runtime, th *core.Thread, in core.Ref) core.Ref {
+	modes := w.templates.Get()
+	mode := rt.ArrGetData(modes, int(rt.GetInt(in, w.eTag)))
+	if mode == 2 {
+		return core.Nil
+	}
+	f := th.PushFrame(3)
+	defer th.PopFrame()
+	f.SetLocal(0, in)
+	o := th.New(w.out)
+	f.SetLocal(1, o)
+	rt.SetRef(o, w.oSrc, rt.GetRef(f.Local(0), w.eText))
+
+	kids := rt.GetRef(f.Local(0), w.eKids)
+	if kids != core.Nil && mode == 0 {
+		n := rt.ArrLen(kids)
+		okids := th.NewRefArray(n)
+		rt.SetRef(f.Local(1), w.oKids, okids)
+		for i := 0; i < n; i++ {
+			c := w.transform(rt, th, rt.ArrGetRef(rt.GetRef(f.Local(0), w.eKids), i))
+			f.SetLocal(2, c)
+			rt.ArrSetRef(rt.GetRef(f.Local(1), w.oKids), i, f.Local(2))
+		}
+	}
+	return f.Local(1)
+}
+
+func (w *xalan) serialize(rt *core.Runtime, o core.Ref, sum uint64) uint64 {
+	if o == core.Nil {
+		return sum
+	}
+	if src := rt.GetRef(o, w.oSrc); src != core.Nil {
+		sum = checksum(sum, uint64(rt.StringLen(src)))
+	}
+	kids := rt.GetRef(o, w.oKids)
+	if kids != core.Nil {
+		for i, n := 0, rt.ArrLen(kids); i < n; i++ {
+			sum = w.serialize(rt, rt.ArrGetRef(kids, i), sum)
+		}
+	}
+	return sum
+}
+
+func (w *xalan) Iterate(rt *core.Runtime, th *core.Thread) {
+	var sum uint64
+	for d := 0; d < xalanDocs; d++ {
+		f := th.PushFrame(2)
+		in := w.parse(rt, th, xalanDepth)
+		f.SetLocal(0, in)
+		out := w.transform(rt, th, f.Local(0))
+		f.SetLocal(1, out)
+		sum = w.serialize(rt, f.Local(1), sum)
+		th.PopFrame()
+	}
+	_ = sum
+}
