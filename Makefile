@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench figures casestudies verify
+.PHONY: all build test race bench difftest fuzz figures casestudies verify
 
 all: build test
 
@@ -16,6 +16,14 @@ race:
 
 bench:
 	go test -bench . -benchmem ./...
+
+# Differential tests: serial vs parallel collections on identical scripts.
+difftest:
+	go test -race -run 'TestDifferential' -v ./internal/trace
+
+# Short coverage-guided fuzz of the serial/parallel equivalence.
+fuzz:
+	go test -run '^$$' -fuzz FuzzParallelTrace -fuzztime 30s ./internal/core
 
 # Regenerate the paper's figures (text tables on stdout, CSV alongside).
 figures:

@@ -4,7 +4,11 @@
 //	gcbench -fig 3     Base vs Infrastructure GC time (Figure 3)
 //	gcbench -fig 4     Base/Infrastructure/WithAssertions total time (Figure 4)
 //	gcbench -fig 5     Base/Infrastructure/WithAssertions GC time (Figure 5)
-//	gcbench -fig all   everything
+//	gcbench -fig all   every paper figure
+//	gcbench -fig trace parallel-tracer scaling report (not a paper figure)
+//
+// -workers N runs the paper figures with the parallel tracer (N marking
+// goroutines); the published numbers use the default serial tracer.
 //
 // Methodology follows the paper: fixed heaps at roughly twice each
 // benchmark's minimum live size, warmup iterations discarded, repeated
@@ -21,19 +25,26 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5 or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, all, or trace")
 	trials := flag.Int("trials", harness.DefaultRunConfig.Trials, "trials per configuration")
 	measure := flag.Int("measure", harness.DefaultRunConfig.Measure, "timed iterations per trial")
 	warmup := flag.Int("warmup", harness.DefaultRunConfig.Warmup, "warmup iterations per trial")
+	workers := flag.Int("workers", 1, "mark-phase trace workers (1 = serial, as published)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	csvPath := flag.String("csv", "", "also write raw measurements to this CSV file")
 	flag.Parse()
 
-	rc := harness.RunConfig{Warmup: *warmup, Measure: *measure, Trials: *trials}
+	rc := harness.RunConfig{Warmup: *warmup, Measure: *measure, Trials: *trials, TraceWorkers: *workers}
 	progress := func(name string) {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "measuring %s...\n", name)
 		}
+	}
+
+	if *fig == "trace" {
+		rows := harness.RunTraceScaling(rc, harness.DefaultTraceScaling, []int{1, 2, 4, 8}, progress)
+		fmt.Println(harness.FormatTraceScaling(rows))
+		return
 	}
 
 	need23 := *fig == "2" || *fig == "3" || *fig == "all"

@@ -192,6 +192,11 @@ func (e *Engine) CheckInstanceLimits() {
 //   - dying owners vacate their slot, and their surviving ownees' pairs are
 //     dropped (ownership of a collected owner is no longer checkable).
 //
+// regionObjs is not purged here but by FreeHook during the sweep itself:
+// keying the purge on actual reclamation (rather than on a liveness
+// predicate that must agree with the sweep's) is what guarantees a recycled
+// Ref can never inherit a previous object's region standing.
+//
 // The live predicate tells the engine which objects survive the imminent
 // sweep: for a full collection that is the mark bit; for a generational
 // minor collection, mark bit or maturity.
@@ -200,14 +205,6 @@ func (e *Engine) PreSweep(live func(vmheap.Ref) bool) {
 
 	for _, t := range e.threads.All() {
 		t.PurgeRegionQueues(marked)
-	}
-
-	if len(e.regionObjs) > 0 {
-		for r := range e.regionObjs {
-			if !marked(r) {
-				delete(e.regionObjs, r)
-			}
-		}
 	}
 
 	if len(e.ownees) == 0 && len(e.owners) == 0 {
@@ -249,6 +246,22 @@ func (e *Engine) PreSweep(live func(vmheap.Ref) bool) {
 // SweepFlags returns the header bits the sweep must clear on survivors:
 // the owned bit is recomputed by each cycle's ownership phase.
 func (e *Engine) SweepFlags() uint64 { return vmheap.FlagOwned }
+
+// FreeHook returns the callback the collector passes as SweepOptions.OnFree,
+// or nil when no per-object table has entries (so sweeps of
+// assertion-free heaps pay no per-free call). It purges regionObjs as
+// objects are reclaimed. Purging at reclamation time — instead of with a
+// liveness predicate in PreSweep — closes the stale-entry window: a sweep
+// whose liveness rules differ from the predicate (or a sweep driven without
+// PreSweep at all) would otherwise leave regionObjs entries for freed Refs,
+// and a later allocation recycling such a Ref would be misreported as a
+// RegionSurvivor if it is ever asserted dead.
+func (e *Engine) FreeHook() func(vmheap.Ref, uint64) {
+	if len(e.regionObjs) == 0 {
+		return nil
+	}
+	return func(r vmheap.Ref, _ uint64) { delete(e.regionObjs, r) }
+}
 
 // InstanceLimitFor exposes a class's current limit (tools and tests).
 func (e *Engine) InstanceLimitFor(c *classes.Class) int64 { return c.InstanceLimit() }

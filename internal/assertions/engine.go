@@ -161,6 +161,9 @@ func (e *Engine) AssertAllDead(t *threads.Thread) error {
 	e.stats.RegionsEnded++
 	for _, r := range queue {
 		if !e.heap.IsObject(r) {
+			// The region object was reclaimed (or its Ref now points into
+			// a free chunk): it must not retain region standing either.
+			delete(e.regionObjs, r)
 			continue
 		}
 		e.heap.SetFlags(r, vmheap.FlagDead)

@@ -1,0 +1,120 @@
+package assertions
+
+import (
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/vmheap"
+)
+
+// Regression: a freed region object's regionObjs entry must not survive the
+// sweep that reclaims it. Before FreeHook, the entry was purged only by
+// PreSweep's liveness predicate; a sweep driven without that exact
+// predicate (the collector contract a new collector or a direct heap sweep
+// can miss) left the entry behind, and an allocation recycling the same Ref
+// inherited region standing: a plain assert-dead on the NEW object was then
+// misreported as an assert-alldead (RegionSurvivor) violation.
+func TestRecycledRefDoesNotInheritRegionStanding(t *testing.T) {
+	e := newEnv(t)
+	th := e.ts.New("main")
+
+	// Region bracket around one allocation; assert-alldead gives the object
+	// region standing and the dead bit.
+	e.e.StartRegion(th)
+	old := e.alloc(t)
+	th.RecordRegionAlloc(old)
+	if err := e.e.AssertAllDead(th); err != nil {
+		t.Fatal(err)
+	}
+
+	// The object is unreachable; sweep reclaims it. The sweep carries the
+	// engine's free hook — the purge path under test — but deliberately no
+	// PreSweep, which on the old code was the only regionObjs purge.
+	e.h.Sweep(vmheap.SweepOptions{OnFree: e.e.FreeHook()})
+
+	// The next allocation of the same size recycles the address: the heap
+	// held a single object, so after the sweep its free space starts where
+	// the old object sat.
+	fresh := e.alloc(t)
+	if fresh != old {
+		t.Fatalf("allocator did not recycle the Ref (old %d, new %d); the scenario needs address reuse", old, fresh)
+	}
+
+	// A plain assert-dead on the new object, violated: the report must say
+	// assert-dead, not assert-alldead — the new object was never allocated
+	// in any region.
+	if err := e.e.AssertDead(fresh); err != nil {
+		t.Fatal(err)
+	}
+	e.e.BeginCycle()
+	e.e.onDead(fresh, func() []vmheap.Ref { return []vmheap.Ref{fresh} })
+	if vs := e.rec.ByKind(report.RegionSurvivor); len(vs) != 0 {
+		t.Fatalf("recycled Ref misreported as RegionSurvivor: %v", vs[0])
+	}
+	if vs := e.rec.ByKind(report.DeadReachable); len(vs) != 1 {
+		t.Fatalf("DeadReachable violations = %d, want 1", len(vs))
+	}
+}
+
+// FreeHook must be nil while no region objects are tracked (sweeps of
+// assertion-free heaps pay no per-free callback), and non-nil exactly while
+// entries exist.
+func TestFreeHookPresence(t *testing.T) {
+	e := newEnv(t)
+	if e.e.FreeHook() != nil {
+		t.Error("FreeHook non-nil with no region objects")
+	}
+	th := e.ts.New("main")
+	e.e.StartRegion(th)
+	obj := e.alloc(t)
+	th.RecordRegionAlloc(obj)
+	if err := e.e.AssertAllDead(th); err != nil {
+		t.Fatal(err)
+	}
+	hook := e.e.FreeHook()
+	if hook == nil {
+		t.Fatal("FreeHook nil with a tracked region object")
+	}
+	hook(obj, 0)
+	if e.e.FreeHook() != nil {
+		t.Error("FreeHook non-nil after the last entry was purged")
+	}
+}
+
+// AssertAllDead's skip path for queue entries that no longer name objects
+// must also drop any region standing recorded under that Ref.
+func TestAssertAllDeadSkipPathPurgesStaleEntry(t *testing.T) {
+	e := newEnv(t)
+	th := e.ts.New("main")
+
+	// First bracket: give obj region standing.
+	e.e.StartRegion(th)
+	obj := e.alloc(t)
+	th.RecordRegionAlloc(obj)
+	if err := e.e.AssertAllDead(th); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second bracket records the same Ref, but by the time assert-alldead
+	// runs the object has been reclaimed (sweep without the free hook
+	// simulates a stale entry surviving from older code paths).
+	e.e.StartRegion(th)
+	th.RecordRegionAlloc(obj)
+	e.h.Sweep(vmheap.SweepOptions{})
+	if err := e.e.AssertAllDead(th); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := e.alloc(t)
+	if fresh != obj {
+		t.Fatalf("allocator did not recycle the Ref (old %d, new %d)", obj, fresh)
+	}
+	if err := e.e.AssertDead(fresh); err != nil {
+		t.Fatal(err)
+	}
+	e.e.BeginCycle()
+	e.e.onDead(fresh, func() []vmheap.Ref { return []vmheap.Ref{fresh} })
+	if vs := e.rec.ByKind(report.RegionSurvivor); len(vs) != 0 {
+		t.Fatalf("stale entry survived the skip path: %v", vs[0])
+	}
+}

@@ -254,15 +254,21 @@ func (r *Registry) Tracked(id uint32) bool { return r.tracked[id] }
 // CountInstance records one live instance of class id during tracing. The
 // count lands on the tracked class itself or, for subclass-inclusive
 // limits, on the tracking ancestor.
-func (r *Registry) CountInstance(id uint32) {
+func (r *Registry) CountInstance(id uint32) { r.CountInstances(id, 1) }
+
+// CountInstances records n live instances of class id at once. The parallel
+// tracer shards counts per worker and merges the shards here at the end of
+// the trace; the routing (exact class vs subclass-inclusive ancestor) is
+// identical to CountInstance.
+func (r *Registry) CountInstances(id uint32, n int64) {
 	c := r.classes[id]
 	if c.instanceLimit != NoLimit {
-		c.instanceCount++
+		c.instanceCount += n
 		return
 	}
 	for k := c.Super; k != nil; k = k.Super {
 		if k.instanceLimit != NoLimit && k.includeSubclasses {
-			k.instanceCount++
+			k.instanceCount += n
 			return
 		}
 	}

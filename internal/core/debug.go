@@ -1,0 +1,36 @@
+package core
+
+import "repro/internal/vmheap"
+
+// Debug introspection used by the differential tests (serial vs parallel
+// collections must leave behind identical heaps) and available to tools.
+
+// LiveObject describes one allocated object in a LiveSet dump.
+type LiveObject struct {
+	Ref   Ref
+	Class string
+	Words uint32
+}
+
+// LiveSet returns every allocated object in ascending address order.
+func (rt *Runtime) LiveSet() []LiveObject {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out []LiveObject
+	rt.heap.Iterate(func(r vmheap.Ref, hd uint64) {
+		out = append(out, LiveObject{
+			Ref:   r,
+			Class: rt.reg.Name(vmheap.DecodeClassID(hd)),
+			Words: vmheap.DecodeSizeWords(hd),
+		})
+	})
+	return out
+}
+
+// FreeChunks returns the heap's free-list contents in the allocator's
+// deterministic bin order.
+func (rt *Runtime) FreeChunks() []vmheap.FreeChunk {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.heap.FreeChunks()
+}

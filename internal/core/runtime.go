@@ -75,6 +75,11 @@ type Config struct {
 	// must free to avoid escalating to a major collection. 0 keeps the
 	// default; a negative value disables escalation.
 	GenMinorFloor float64
+	// TraceWorkers sets the mark-phase worker count for full collections.
+	// 0 or 1 keeps the serial tracers (the paper's configuration; all
+	// published figures use it); >= 2 enables the parallel work-stealing
+	// trace with that many goroutines.
+	TraceWorkers int
 }
 
 // Runtime is a managed heap plus its collector and assertion engine.
@@ -121,9 +126,12 @@ func New(cfg Config) *Runtime {
 
 	switch cfg.Collector {
 	case MarkSweep:
-		rt.collector = gc.NewMarkSweep(rt.heap, rt.reg, src, cfg.Mode, rt.engine)
+		ms := gc.NewMarkSweep(rt.heap, rt.reg, src, cfg.Mode, rt.engine)
+		ms.TraceWorkers = cfg.TraceWorkers
+		rt.collector = ms
 	case Generational:
 		g := gc.NewGenerational(rt.heap, rt.reg, src, cfg.Mode, rt.engine)
+		g.TraceWorkers = cfg.TraceWorkers
 		if cfg.GenMajorEvery > 0 {
 			g.MajorEvery = cfg.GenMajorEvery
 		}

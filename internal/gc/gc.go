@@ -67,6 +67,12 @@ type Stats struct {
 	// LastLiveWords is the live heap size after the most recent
 	// collection (used by the harness for heap-sizing calibration).
 	LastLiveWords uint64
+
+	// Parallel-trace totals; all zero when TraceWorkers <= 1.
+	ParallelTraces uint64 // collections whose mark phase ran parallel
+	TraceFallbacks uint64 // parallel traces that re-ran serially to report
+	WorkerScans    []uint64 // cumulative objects scanned, by worker index
+	WorkerSteals   []uint64 // cumulative successful steals, by worker index
 }
 
 // addTrace folds one collection's trace counters into the totals.
@@ -77,6 +83,26 @@ func (s *Stats) addTrace(t trace.Stats) {
 	s.Trace.SharedHits += t.SharedHits
 	s.Trace.OwneesChecked += t.OwneesChecked
 	s.Trace.ForcedRefs += t.ForcedRefs
+}
+
+// addParallel folds one collection's parallel-trace counters into the
+// totals; a no-op for serial traces.
+func (s *Stats) addParallel(ps trace.ParallelStats) {
+	if ps.Workers == 0 {
+		return
+	}
+	s.ParallelTraces++
+	if ps.Fallback {
+		s.TraceFallbacks++
+	}
+	for len(s.WorkerScans) < ps.Workers {
+		s.WorkerScans = append(s.WorkerScans, 0)
+		s.WorkerSteals = append(s.WorkerSteals, 0)
+	}
+	for i, w := range ps.PerWorker {
+		s.WorkerScans[i] += w.Scans
+		s.WorkerSteals[i] += w.Steals
+	}
 }
 
 // Collector is the interface the runtime drives. Collect performs whatever
@@ -101,6 +127,13 @@ type MarkSweep struct {
 	roots  roots.Source
 	mode   Mode
 	stats  Stats
+
+	// TraceWorkers selects the mark phase: <= 1 runs the serial tracers
+	// (the paper's configuration, and the default); >= 2 runs the parallel
+	// work-stealing trace with that many workers. Collections that need an
+	// ownership pre-phase always trace serially — the owner/ownee scan
+	// order is part of the assertion semantics.
+	TraceWorkers int
 }
 
 // NewMarkSweep creates the collector. engine must be nil exactly when mode
@@ -130,29 +163,50 @@ func (c *MarkSweep) WriteBarrier(vmheap.Ref) {}
 // Collect implements Collector: every MarkSweep collection is full-heap.
 func (c *MarkSweep) Collect() error { return c.CollectFull() }
 
+// markFull runs the mark phase of a full collection: parallel when the
+// collector asks for workers, serial otherwise. Ownership assertions force
+// the serial path — the owner/ownee pre-phase scan order is part of the
+// assertion semantics and does not parallelize.
+func markFull(t *trace.Tracer, eng *assertions.Engine, src roots.Source, mode Mode, workers int) {
+	if mode == Infrastructure {
+		eng.BeginCycle()
+		t.SetChecks(eng.Checks())
+		ph := eng.OwnershipPhase()
+		if ph == nil && workers > 1 {
+			t.TraceInfraParallel(src, workers)
+			return
+		}
+		if ph != nil {
+			t.RunOwnershipPhase(ph)
+		}
+		t.TraceInfra(src)
+		return
+	}
+	if workers > 1 {
+		t.TraceBaseParallel(src, workers)
+		return
+	}
+	t.TraceBase(src)
+}
+
 // CollectFull performs one full collection.
 func (c *MarkSweep) CollectFull() error {
 	start := time.Now()
 	c.tracer.Reset()
 
 	var sweepClear uint64
+	var onFree func(vmheap.Ref, uint64)
+	markFull(c.tracer, c.engine, c.roots, c.mode, c.TraceWorkers)
 	if c.mode == Infrastructure {
-		c.engine.BeginCycle()
-		c.tracer.SetChecks(c.engine.Checks())
-		if ph := c.engine.OwnershipPhase(); ph != nil {
-			c.tracer.RunOwnershipPhase(ph)
-		}
-		c.tracer.TraceInfra(c.roots)
 		c.engine.CheckInstanceLimits()
 		c.engine.PreSweep(func(r vmheap.Ref) bool {
 			return c.heap.Flags(r, vmheap.FlagMark) != 0
 		})
 		sweepClear = c.engine.SweepFlags()
-	} else {
-		c.tracer.TraceBase(c.roots)
+		onFree = c.engine.FreeHook()
 	}
 
-	sw := c.heap.Sweep(vmheap.SweepOptions{ClearFlags: sweepClear})
+	sw := c.heap.Sweep(vmheap.SweepOptions{ClearFlags: sweepClear, OnFree: onFree})
 
 	elapsed := time.Since(start)
 	ts := c.tracer.Stats()
@@ -165,6 +219,7 @@ func (c *MarkSweep) CollectFull() error {
 	c.stats.FreedWords += sw.FreedWords
 	c.stats.LastLiveWords = sw.LiveWords
 	c.stats.addTrace(ts)
+	c.stats.addParallel(c.tracer.ParallelStats())
 
 	if c.mode == Infrastructure {
 		if v := c.engine.Halted(); v != nil {

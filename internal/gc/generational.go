@@ -41,6 +41,12 @@ type Generational struct {
 	// of the heap, the next collection is major (default 0.10).
 	MinorFloor float64
 
+	// TraceWorkers selects the mark phase of major collections: <= 1 runs
+	// the serial tracers, >= 2 the parallel work-stealing trace. Minor
+	// collections always trace serially (the nursery is small; the
+	// remembered-set walk is not worth a fan-out).
+	TraceWorkers int
+
 	minorsSinceMajor int
 }
 
@@ -108,16 +114,19 @@ func (c *Generational) collectMinor() error {
 
 	// Even though minor collections check nothing, the engine's tables
 	// must not keep references to reclaimed nursery objects.
+	var onFree func(vmheap.Ref, uint64)
 	if c.engine != nil {
 		c.engine.PreSweep(func(r vmheap.Ref) bool {
 			return c.heap.Flags(r, vmheap.FlagMark|vmheap.FlagMature) != 0
 		})
+		onFree = c.engine.FreeHook()
 	}
 
 	c.dropRememberedSet()
 	sw := c.heap.Sweep(vmheap.SweepOptions{
 		Immature: true,
 		SetFlags: vmheap.FlagMature, // promote survivors in place
+		OnFree:   onFree,
 	})
 
 	elapsed := time.Since(start)
@@ -142,24 +151,19 @@ func (c *Generational) CollectFull() error {
 
 	sweepSet := vmheap.FlagMature
 	var sweepClear uint64
+	var onFree func(vmheap.Ref, uint64)
+	markFull(c.tracer, c.engine, c.roots, c.mode, c.TraceWorkers)
 	if c.mode == Infrastructure {
-		c.engine.BeginCycle()
-		c.tracer.SetChecks(c.engine.Checks())
-		if ph := c.engine.OwnershipPhase(); ph != nil {
-			c.tracer.RunOwnershipPhase(ph)
-		}
-		c.tracer.TraceInfra(c.roots)
 		c.engine.CheckInstanceLimits()
 		c.engine.PreSweep(func(r vmheap.Ref) bool {
 			return c.heap.Flags(r, vmheap.FlagMark) != 0
 		})
 		sweepClear = c.engine.SweepFlags()
-	} else {
-		c.tracer.TraceBase(c.roots)
+		onFree = c.engine.FreeHook()
 	}
 
 	c.dropRememberedSet()
-	sw := c.heap.Sweep(vmheap.SweepOptions{ClearFlags: sweepClear, SetFlags: sweepSet})
+	sw := c.heap.Sweep(vmheap.SweepOptions{ClearFlags: sweepClear, SetFlags: sweepSet, OnFree: onFree})
 
 	elapsed := time.Since(start)
 	ts := c.tracer.Stats()
@@ -172,6 +176,7 @@ func (c *Generational) CollectFull() error {
 	c.stats.FreedWords += sw.FreedWords
 	c.stats.LastLiveWords = sw.LiveWords
 	c.stats.addTrace(ts)
+	c.stats.addParallel(c.tracer.ParallelStats())
 	c.minorsSinceMajor = 0
 
 	if c.mode == Infrastructure {

@@ -17,6 +17,10 @@ type RunConfig struct {
 	// Trials is the number of independent repetitions (fresh runtime
 	// each); the paper uses twenty.
 	Trials int
+	// TraceWorkers is passed through to core.Config: 0 or 1 keeps the
+	// serial tracers the published figures use; >= 2 runs the parallel
+	// mark phase.
+	TraceWorkers int
 }
 
 // DefaultRunConfig mirrors the paper's shape at a scale that finishes in
@@ -68,9 +72,10 @@ type trial struct {
 func runTrial(s Subject, rc RunConfig) trial {
 	runtime.GC()
 	rt := core.New(core.Config{
-		HeapWords: s.HeapWords,
-		Mode:      s.Mode,
-		Collector: s.Collector,
+		HeapWords:    s.HeapWords,
+		Mode:         s.Mode,
+		Collector:    s.Collector,
+		TraceWorkers: rc.TraceWorkers,
 	})
 	iterate := s.Build(rt)
 	for i := 0; i < rc.Warmup; i++ {

@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Parallel-tracer scaling report (gcbench -fig trace): a fixed synthetic
+// object graph is collected repeatedly at each worker count, and the
+// per-collection GC time, the worker scan balance, and the steal traffic
+// are reported. The published figures stay serial-mode; this report is the
+// observability surface for the parallel mark phase.
+
+// TraceScalingConfig shapes the synthetic heap.
+type TraceScalingConfig struct {
+	HeapWords int
+	Nodes     int
+	Roots     int
+	Seed      int64
+}
+
+// DefaultTraceScaling is sized so a full collection takes long enough to
+// time stably but the whole report still finishes in seconds.
+var DefaultTraceScaling = TraceScalingConfig{
+	HeapWords: 1 << 21,
+	Nodes:     100_000,
+	Roots:     64,
+	Seed:      1,
+}
+
+// TraceScalingRow is the measurement at one worker count.
+type TraceScalingRow struct {
+	Workers int
+	// PerGC is the full-collection time (mark + sweep; the graph is built
+	// so the mark phase dominates), in seconds per collection.
+	PerGC Sample
+	// VisitedPerGC is the objects marked by each collection.
+	VisitedPerGC uint64
+	// StealsPerGC is the mean number of successful steal batches per
+	// collection across the measurement window (0 when serial).
+	StealsPerGC float64
+	// ScanShareMin and ScanShareMax bound the per-worker share of claimed
+	// objects: perfect balance puts every worker at 1/Workers.
+	ScanShareMin, ScanShareMax float64
+	// Fallbacks counts parallel traces that re-ran serially (none are
+	// expected: the scaling heap registers no assertions).
+	Fallbacks uint64
+}
+
+// BuildScalingGraph fills rt with a pseudo-random graph: all nodes are held
+// by a rooted spine array (breadth for the root scan) and additionally
+// wired into random ternary tangles (depth and sharing for the mark loop).
+// Exported for the BenchmarkParallelTrace scaling curves.
+func BuildScalingGraph(rt *core.Runtime, cfg TraceScalingConfig) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	node := rt.DefineClass("SNode",
+		core.RefField("l"), core.RefField("r"), core.RefField("x"),
+		core.DataField("d"))
+	lOff := node.MustFieldIndex("l")
+	rOff := node.MustFieldIndex("r")
+	xOff := node.MustFieldIndex("x")
+
+	th := rt.MainThread()
+	spine := rt.AddGlobal("spine")
+	arr := th.NewRefArray(cfg.Nodes)
+	spine.Set(arr)
+	refs := make([]core.Ref, cfg.Nodes)
+	for i := range refs {
+		refs[i] = th.New(node)
+		rt.ArrSetRef(arr, i, refs[i])
+	}
+	for i, r := range refs {
+		rt.SetRef(r, lOff, refs[rng.Intn(cfg.Nodes)])
+		rt.SetRef(r, rOff, refs[rng.Intn(cfg.Nodes)])
+		if i%3 == 0 {
+			rt.SetRef(r, xOff, refs[rng.Intn(cfg.Nodes)])
+		}
+	}
+	// A few extra globals rooted mid-graph so the parallel root
+	// distribution has more than one seed worth stealing from.
+	for g := 0; g < cfg.Roots; g++ {
+		rt.AddGlobal(fmt.Sprintf("r%d", g)).Set(refs[rng.Intn(cfg.Nodes)])
+	}
+}
+
+// RunTraceScaling measures full-collection time over the scaling graph at
+// each worker count.
+func RunTraceScaling(rc RunConfig, cfg TraceScalingConfig, workerCounts []int, progress func(string)) []TraceScalingRow {
+	rows := make([]TraceScalingRow, 0, len(workerCounts))
+	for _, workers := range workerCounts {
+		if progress != nil {
+			progress(fmt.Sprintf("trace scaling, %d worker(s)", workers))
+		}
+		var perGC []time.Duration
+		var last core.Snapshot
+		for trial := 0; trial < rc.Trials; trial++ {
+			rt := core.New(core.Config{
+				HeapWords:    cfg.HeapWords,
+				Mode:         core.Infrastructure,
+				TraceWorkers: workers,
+			})
+			BuildScalingGraph(rt, cfg)
+			// Prime: the first collection also settles the free lists.
+			if err := rt.GC(); err != nil {
+				panic(err)
+			}
+			gc0 := rt.Stats().GC.FullGCTime
+			for i := 0; i < rc.Measure; i++ {
+				if err := rt.GC(); err != nil {
+					panic(err)
+				}
+			}
+			perGC = append(perGC,
+				(rt.Stats().GC.FullGCTime-gc0)/time.Duration(rc.Measure))
+			last = rt.Stats()
+		}
+
+		row := TraceScalingRow{Workers: workers, PerGC: SummarizeDurations(perGC)}
+		gcs := last.GC
+		if gcs.FullCollections > 0 {
+			row.VisitedPerGC = gcs.MarkedObjects / gcs.FullCollections
+		}
+		if gcs.ParallelTraces > 0 {
+			row.Fallbacks = gcs.TraceFallbacks
+			var scans, steals uint64
+			for i := range gcs.WorkerScans {
+				scans += gcs.WorkerScans[i]
+				steals += gcs.WorkerSteals[i]
+			}
+			row.StealsPerGC = float64(steals) / float64(gcs.ParallelTraces)
+			if scans > 0 {
+				row.ScanShareMin, row.ScanShareMax = 1, 0
+				for _, s := range gcs.WorkerScans {
+					share := float64(s) / float64(scans)
+					row.ScanShareMin = min(row.ScanShareMin, share)
+					row.ScanShareMax = max(row.ScanShareMax, share)
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTraceScaling renders the scaling rows as a table. Speedup is
+// against the first row (conventionally workers=1).
+func FormatTraceScaling(rows []TraceScalingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Parallel trace scaling (%d objects marked per GC; speedup vs first row)\n",
+		rowsVisited(rows))
+	fmt.Fprintf(&b, "%-8s %14s %9s %12s %18s %10s\n",
+		"workers", "gc-ms ±ci90", "speedup", "steals/gc", "scan share", "fallbacks")
+	var base float64
+	for i, r := range rows {
+		ms := r.PerGC.Mean * 1000
+		ci := r.PerGC.CI90 * 1000
+		if i == 0 {
+			base = ms
+		}
+		speedup := 0.0
+		if ms > 0 {
+			speedup = base / ms
+		}
+		share := "-"
+		if r.ScanShareMax > 0 {
+			share = fmt.Sprintf("%.2f–%.2f", r.ScanShareMin, r.ScanShareMax)
+		}
+		fmt.Fprintf(&b, "%-8d %8.3f ±%4.3f %8.2fx %12.1f %18s %10d\n",
+			r.Workers, ms, ci, speedup, r.StealsPerGC, share, r.Fallbacks)
+	}
+	return b.String()
+}
+
+func rowsVisited(rows []TraceScalingRow) uint64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	return rows[0].VisitedPerGC
+}

@@ -1,0 +1,415 @@
+package trace
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/roots"
+	"repro/internal/vmheap"
+)
+
+// Parallel marking. N workers drain per-worker deques of gray objects,
+// claiming each object with a CAS on its header mark bit (vmheap.TryClaim)
+// so exactly one worker scans it. Idle workers steal the oldest half of
+// another worker's shared deque — the oldest entries sit closest to the
+// roots and tend to head the widest unexplored subtrees.
+//
+// The Infrastructure variant keeps the paper's checks piggybacked on the
+// trace but splits them into a detection tier and a reporting tier:
+//
+//   - detection rides the hot path at the cost the serial loop already
+//     pays: the dead bit is tested on the header word the claim loaded
+//     anyway, and unshared re-encounters fall out of the CAS loser path
+//     (an encounter that loses the claim is exactly a second encounter);
+//
+//   - reporting — paths, handler actions, Force-nulling — is ordered and
+//     therefore serial. It is reached by falling back: when any check
+//     fires, the parallel marks are discarded and the serial path-tracking
+//     TraceInfra re-runs from the roots, reproducing the serial
+//     reporting semantics bit for bit.
+//
+// Assertion violations are exceptional (a firing assertion is a bug being
+// caught), so the fallback re-trace is off the steady-state path: a clean
+// heap pays only the detection tier.
+//
+// Instance counting for assert-instances is sharded: each worker counts
+// tracked classes it claims into a private table, merged into the class
+// registry once the trace completes (or discarded on fallback, where the
+// serial re-trace recounts).
+
+// WorkerStats counts one worker's share of a parallel trace.
+type WorkerStats struct {
+	Scans  uint64 // objects this worker claimed and scanned
+	Steals uint64 // successful steal operations (batches, not objects)
+}
+
+// ParallelStats describes the most recent parallel trace.
+type ParallelStats struct {
+	// Workers is the worker count, or 0 when the last trace was serial.
+	Workers int
+	// PerWorker holds each worker's scan/steal counters.
+	PerWorker []WorkerStats
+	// Fallback reports that a check fired and the serial re-trace ran.
+	Fallback bool
+}
+
+// ParallelStats returns the counters of the most recent trace; Workers is
+// zero if it was serial.
+func (t *Tracer) ParallelStats() ParallelStats { return t.pstats }
+
+// Spill tuning: a worker's private buffer spills its oldest spillBatch
+// entries to the shared (stealable) deque when it reaches spillAt.
+const (
+	spillAt    = 96
+	spillBatch = 48
+	stealBatch = 32
+)
+
+// pdeque is the shared, stealable portion of one worker's worklist. The
+// owner appends and takes at the tail; thieves take batches from the head.
+// A plain mutex keeps it simple and race-free; the owner's uncontended
+// lock path is cheap, and most traffic stays in the private buffer.
+type pdeque struct {
+	mu  sync.Mutex
+	buf []uint32
+}
+
+// put appends a batch at the tail. Called only by the owner.
+func (d *pdeque) put(items []uint32) {
+	d.mu.Lock()
+	d.buf = append(d.buf, items...)
+	d.mu.Unlock()
+}
+
+// take removes the newest entry. Called only by the owner.
+func (d *pdeque) take() (uint32, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.buf)
+	if n == 0 {
+		return 0, false
+	}
+	r := d.buf[n-1]
+	d.buf = d.buf[:n-1]
+	return r, true
+}
+
+// stealInto moves up to len(dst) entries — at most half the deque — from
+// the head into dst and returns how many were taken.
+func (d *pdeque) stealInto(dst []uint32) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.buf)
+	if n == 0 {
+		return 0
+	}
+	k := (n + 1) / 2
+	if k > len(dst) {
+		k = len(dst)
+	}
+	copy(dst, d.buf[:k])
+	d.buf = append(d.buf[:0], d.buf[k:]...)
+	return k
+}
+
+// pworker is one marking worker: a private LIFO, a stealable deque, and
+// private counter shards merged after the trace.
+type pworker struct {
+	id      int
+	local   []uint32
+	shared  pdeque
+	scratch []uint32
+
+	visited     uint64
+	refsScanned uint64
+	counts      map[uint32]int64 // tracked-class instance shard
+
+	stats WorkerStats
+}
+
+// push adds a gray object, spilling the oldest entries to the shared deque
+// when the private buffer fills.
+func (w *pworker) push(r vmheap.Ref) {
+	w.local = append(w.local, uint32(r))
+	if len(w.local) >= spillAt {
+		w.shared.put(w.local[:spillBatch])
+		w.local = append(w.local[:0], w.local[spillBatch:]...)
+	}
+}
+
+// take pops the newest private entry, falling back to the worker's own
+// shared deque.
+func (w *pworker) take() (vmheap.Ref, bool) {
+	if n := len(w.local); n > 0 {
+		r := w.local[n-1]
+		w.local = w.local[:n-1]
+		return vmheap.Ref(r), true
+	}
+	if r, ok := w.shared.take(); ok {
+		return vmheap.Ref(r), true
+	}
+	return vmheap.Nil, false
+}
+
+// parallelRun is the shared state of one parallel trace.
+type parallelRun struct {
+	heap    *vmheap.Heap
+	reg     registry
+	workers []*pworker
+	n       int
+
+	infra bool // detection-tier checks enabled
+
+	idle  atomic.Int64
+	abort atomic.Bool // a check fired; discard and re-trace serially
+}
+
+// registry is the slice of *classes.Registry the workers need; declaring it
+// locally keeps the worker code honest about what it may touch while other
+// goroutines run (all of it is read-only during a trace).
+type registry interface {
+	RefOffsets(id uint32) []uint16
+	Tracked(id uint32) bool
+}
+
+func newParallelRun(t *Tracer, workers int, infra bool) *parallelRun {
+	run := &parallelRun{heap: t.heap, reg: t.reg, n: workers, infra: infra}
+	run.workers = make([]*pworker, workers)
+	for i := range run.workers {
+		run.workers[i] = &pworker{
+			id:      i,
+			scratch: make([]uint32, stealBatch),
+			counts:  make(map[uint32]int64),
+		}
+	}
+	return run
+}
+
+// drain runs the workers to completion (all deques empty, or abort).
+func (run *parallelRun) drain() {
+	var wg sync.WaitGroup
+	for _, w := range run.workers {
+		wg.Add(1)
+		go func(w *pworker) {
+			defer wg.Done()
+			run.workerLoop(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+func (run *parallelRun) workerLoop(w *pworker) {
+	for {
+		r, ok := w.take()
+		if !ok {
+			if !run.findWork(w) {
+				return
+			}
+			continue
+		}
+		if run.abort.Load() {
+			return
+		}
+		w.stats.Scans++
+		run.scan(w, r)
+	}
+}
+
+// findWork steals for an out-of-work worker. It returns false when the
+// trace is over: every worker is idle with all deques empty, or the trace
+// aborted. Idle workers poll rather than block — traces are short and the
+// poll loop yields the processor between sweeps over the victims.
+func (run *parallelRun) findWork(w *pworker) bool {
+	run.idle.Add(1)
+	for {
+		if run.abort.Load() {
+			return false
+		}
+		for j := 1; j < run.n; j++ {
+			victim := run.workers[(w.id+j)%run.n]
+			if k := victim.shared.stealInto(w.scratch); k > 0 {
+				run.idle.Add(-1)
+				w.stats.Steals++
+				w.local = append(w.local, w.scratch[:k]...)
+				return true
+			}
+		}
+		if run.idle.Load() == int64(run.n) {
+			return false
+		}
+		runtime.Gosched()
+	}
+}
+
+// scan greys the children of a claimed object. Field and element words are
+// never written during a trace, so plain reads are safe; only headers need
+// the atomic accessors.
+func (run *parallelRun) scan(w *pworker, r vmheap.Ref) {
+	h := run.heap
+	hd := h.HeaderAtomic(r)
+	switch vmheap.DecodeKind(hd) {
+	case vmheap.KindScalar:
+		for _, off := range run.reg.RefOffsets(vmheap.DecodeClassID(hd)) {
+			c := h.RefAt(r, uint32(off))
+			w.refsScanned++
+			if c != vmheap.Nil {
+				run.encounter(w, c)
+			}
+		}
+	case vmheap.KindRefArray:
+		n := h.ArrayLen(r)
+		for i := uint32(0); i < n; i++ {
+			c := vmheap.Ref(h.ArrayWord(r, i))
+			w.refsScanned++
+			if c != vmheap.Nil {
+				run.encounter(w, c)
+			}
+		}
+	case vmheap.KindDataArray:
+		// No references.
+	}
+}
+
+// encounter claims c and, on the first visit, greys it. In Infrastructure
+// mode it also runs the detection tier of the piggybacked checks; any hit
+// aborts the parallel trace in favor of the serial reporting re-trace.
+func (run *parallelRun) encounter(w *pworker, c vmheap.Ref) {
+	won, hd := run.heap.TryClaim(c, vmheap.FlagMark)
+	if run.infra {
+		if hd&vmheap.FlagDead != 0 {
+			// A dead-asserted object is reachable: violation.
+			run.abort.Store(true)
+			return
+		}
+		if !won {
+			if hd&vmheap.FlagUnshared != 0 {
+				// CAS loser on an unshared-asserted object: this is the
+				// second encounter — the serial loop's re-mark check.
+				run.abort.Store(true)
+			}
+			return
+		}
+		if hd&vmheap.FlagOwnee != 0 {
+			// Ownership assertions route collections to the serial
+			// tracer before the trace starts; a stray ownee bit here
+			// means engine state changed mid-setup. Report serially.
+			run.abort.Store(true)
+			return
+		}
+		if cls := vmheap.DecodeClassID(hd); run.reg.Tracked(cls) {
+			w.counts[cls]++
+		}
+	} else if !won {
+		return
+	}
+	w.visited++
+	w.push(c)
+}
+
+// mergeCounters folds per-worker visit totals and instance shards into the
+// tracer and registry after a clean (non-fallback) parallel trace. The
+// sums are deterministic even though the per-worker split is not.
+func (run *parallelRun) mergeCounters(t *Tracer) {
+	for _, w := range run.workers {
+		t.stats.Visited += w.visited
+		t.stats.RefsScanned += w.refsScanned
+		for id, n := range w.counts {
+			t.reg.CountInstances(id, n)
+		}
+	}
+}
+
+// recordWorkerStats publishes per-worker scan/steal counters (kept on
+// fallback too: the aborted attempt's work happened and is observable).
+func (run *parallelRun) recordWorkerStats(t *Tracer, fellBack bool) {
+	ps := ParallelStats{Workers: run.n, Fallback: fellBack}
+	ps.PerWorker = make([]WorkerStats, run.n)
+	for i, w := range run.workers {
+		ps.PerWorker[i] = w.stats
+	}
+	t.pstats = ps
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+
+// TraceBaseParallel is TraceBase with `workers` marking goroutines. With
+// workers <= 1 it is exactly TraceBase.
+func (t *Tracer) TraceBaseParallel(src roots.Source, workers int) {
+	if workers <= 1 {
+		t.TraceBase(src)
+		return
+	}
+	run := newParallelRun(t, workers, false)
+
+	// Root scan, serial: claim each rooted object and deal it round-robin
+	// into the workers' worklists (mirrors the serial root loop, which
+	// does not count root slots as scanned references).
+	i := 0
+	src.EachRoot(func(slot *vmheap.Ref) {
+		r := *slot
+		if r == vmheap.Nil {
+			return
+		}
+		w := run.workers[i%workers]
+		i++
+		if won, _ := t.heap.TryClaim(r, vmheap.FlagMark); won {
+			w.visited++
+			w.push(r)
+		}
+	})
+
+	run.drain()
+	run.recordWorkerStats(t, false)
+	run.mergeCounters(t)
+}
+
+// TraceInfraParallel is the parallel counterpart of TraceInfra: it marks
+// with `workers` goroutines and the detection tier of the piggybacked
+// checks. When any check fires, the parallel marks are discarded and the
+// serial TraceInfra re-runs from the roots with full path reporting and
+// handler semantics; the return value reports that fallback. Callers must
+// not use it when an ownership phase is pending — ownership scans are
+// ordered and stay serial.
+func (t *Tracer) TraceInfraParallel(src roots.Source, workers int) (fellBack bool) {
+	if workers <= 1 {
+		t.TraceInfra(src)
+		return false
+	}
+	run := newParallelRun(t, workers, true)
+
+	// Root scan, serial: every non-nil root slot is an encounter with
+	// full detection semantics (a root can reference a dead-asserted or
+	// shared object).
+	i := 0
+	src.EachRoot(func(slot *vmheap.Ref) {
+		c := *slot
+		if c == vmheap.Nil {
+			return
+		}
+		w := run.workers[i%workers]
+		i++
+		w.refsScanned++
+		run.encounter(w, c)
+	})
+
+	if !run.abort.Load() {
+		run.drain()
+	}
+
+	if run.abort.Load() {
+		run.recordWorkerStats(t, true)
+		// Discard the parallel attempt: clear every mark it set, drop the
+		// per-worker shards (never merged), and re-run the serial
+		// reporting trace. The serial pass recounts visited objects,
+		// scanned references and tracked instances from scratch, so the
+		// final stats and violations are exactly the serial tracer's.
+		t.heap.ClearMarks(0)
+		t.TraceInfra(src)
+		return true
+	}
+	run.recordWorkerStats(t, false)
+	run.mergeCounters(t)
+	return false
+}

@@ -70,6 +70,7 @@ type Tracer struct {
 
 	checks Checks
 	stats  Stats
+	pstats ParallelStats     // last parallel trace (zero when serial)
 	halt   *report.Violation // set when a handler requested Halt
 }
 
@@ -92,6 +93,7 @@ func (t *Tracer) Halted() *report.Violation { return t.halt }
 // Reset clears per-collection state (stats, halt request).
 func (t *Tracer) Reset() {
 	t.stats = Stats{}
+	t.pstats = ParallelStats{}
 	t.halt = nil
 	t.stack = t.stack[:0]
 }

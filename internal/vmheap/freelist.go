@@ -1,0 +1,27 @@
+package vmheap
+
+// FreeChunk describes one chunk on a free list (debug and differential
+// testing; the allocator itself never materializes this form).
+type FreeChunk struct {
+	Ref   Ref
+	Words uint32
+}
+
+// FreeChunks returns every free-list chunk in deterministic order: the
+// exact bins in ascending size order, then the large list, each in list
+// order. Two heaps that went through identical allocation and collection
+// histories return identical slices, which the differential tests use to
+// compare serial and parallel collections.
+func (h *Heap) FreeChunks() []FreeChunk {
+	var out []FreeChunk
+	walk := func(head Ref) {
+		for r := head; r != Nil; r = Ref(h.words[uint32(r)+freeNextSlot]) {
+			out = append(out, FreeChunk{Ref: r, Words: headerSize(h.words[r])})
+		}
+	}
+	for _, head := range h.bins {
+		walk(head)
+	}
+	walk(h.largeBin)
+	return out
+}
