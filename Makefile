@@ -17,13 +17,17 @@ race:
 bench:
 	go test -bench . -benchmem ./...
 
-# Differential tests: serial vs parallel collections on identical scripts.
+# Differential tests: serial vs parallel collections on identical scripts,
+# and stop-the-world vs incremental cycles (plus the shadow-model oracle).
 difftest:
-	go test -race -run 'TestDifferential' -v ./internal/trace
+	go test -race -run 'TestDifferential|TestIncrementalDifferential|TestOracle' -v ./internal/trace
 
-# Short coverage-guided fuzz of the serial/parallel equivalence.
+# Short coverage-guided fuzz runs: the serial/parallel equivalence and the
+# stop-the-world/incremental equivalence (go test takes one -fuzz pattern
+# per invocation, so the targets run sequentially).
 fuzz:
 	go test -run '^$$' -fuzz FuzzParallelTrace -fuzztime 30s ./internal/core
+	go test -run '^$$' -fuzz FuzzIncrementalBarrier -fuzztime 30s ./internal/core
 
 # Regenerate the paper's figures (text tables on stdout, CSV alongside).
 figures:

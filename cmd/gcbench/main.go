@@ -6,9 +6,12 @@
 //	gcbench -fig 5     Base/Infrastructure/WithAssertions GC time (Figure 5)
 //	gcbench -fig all   every paper figure
 //	gcbench -fig trace parallel-tracer scaling report (not a paper figure)
+//	gcbench -fig pause incremental pause-distribution report (not a paper figure)
 //
 // -workers N runs the paper figures with the parallel tracer (N marking
 // goroutines); the published numbers use the default serial tracer.
+// -incremental N selects the bounded mark budget for -fig pause; the paper
+// figures themselves are always stop-the-world, as published.
 //
 // Methodology follows the paper: fixed heaps at roughly twice each
 // benchmark's minimum live size, warmup iterations discarded, repeated
@@ -24,21 +27,90 @@ import (
 	"repro/internal/harness"
 )
 
+// options collects the flag values so validation is testable apart from
+// flag parsing and execution.
+type options struct {
+	fig         string
+	trials      int
+	measure     int
+	warmup      int
+	workers     int
+	incremental int
+}
+
+// validate rejects option combinations that would otherwise fail deep
+// inside a measurement run (or, worse, silently measure the wrong thing).
+func validate(o options) error {
+	switch o.fig {
+	case "2", "3", "4", "5", "all", "trace", "pause":
+	default:
+		return fmt.Errorf("unknown figure %q (want 2, 3, 4, 5, all, trace, or pause)", o.fig)
+	}
+	if o.trials < 1 {
+		return fmt.Errorf("-trials %d: need at least one trial", o.trials)
+	}
+	if o.measure < 1 {
+		return fmt.Errorf("-measure %d: need at least one timed iteration", o.measure)
+	}
+	if o.warmup < 0 {
+		return fmt.Errorf("-warmup %d: cannot be negative", o.warmup)
+	}
+	if o.workers < 1 {
+		return fmt.Errorf("-workers %d: need at least one trace worker", o.workers)
+	}
+	if o.incremental < 0 {
+		return fmt.Errorf("-incremental %d: mark budget cannot be negative", o.incremental)
+	}
+	if o.incremental > 0 && o.workers > 1 {
+		return fmt.Errorf("-incremental %d with -workers %d: the bounded mark slices are serial; parallel tracing and incremental marking cannot be combined", o.incremental, o.workers)
+	}
+	if o.incremental > 0 && o.fig != "pause" {
+		return fmt.Errorf("-incremental %d with -fig %s: the paper figures are stop-the-world as published; incremental budgets apply only to -fig pause", o.incremental, o.fig)
+	}
+	return nil
+}
+
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, all, or trace")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, all, trace, or pause")
 	trials := flag.Int("trials", harness.DefaultRunConfig.Trials, "trials per configuration")
 	measure := flag.Int("measure", harness.DefaultRunConfig.Measure, "timed iterations per trial")
 	warmup := flag.Int("warmup", harness.DefaultRunConfig.Warmup, "warmup iterations per trial")
 	workers := flag.Int("workers", 1, "mark-phase trace workers (1 = serial, as published)")
+	incremental := flag.Int("incremental", 0, "bounded mark budget for -fig pause (0 = stop-the-world)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	csvPath := flag.String("csv", "", "also write raw measurements to this CSV file")
 	flag.Parse()
+
+	opts := options{
+		fig:         *fig,
+		trials:      *trials,
+		measure:     *measure,
+		warmup:      *warmup,
+		workers:     *workers,
+		incremental: *incremental,
+	}
+	if err := validate(opts); err != nil {
+		fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	rc := harness.RunConfig{Warmup: *warmup, Measure: *measure, Trials: *trials, TraceWorkers: *workers}
 	progress := func(name string) {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "measuring %s...\n", name)
 		}
+	}
+
+	if *fig == "pause" {
+		cfg := harness.DefaultPauseReport
+		if *incremental > 0 {
+			// A single explicit budget replaces the default sweep; budget 0
+			// stays as the baseline row.
+			cfg.Budgets = []int{0, *incremental}
+		}
+		rows := harness.RunPauseReport(cfg, progress)
+		fmt.Println(harness.FormatPauseReport(rows))
+		return
 	}
 
 	if *fig == "trace" {
@@ -49,10 +121,6 @@ func main() {
 
 	need23 := *fig == "2" || *fig == "3" || *fig == "all"
 	need45 := *fig == "4" || *fig == "5" || *fig == "all"
-	if !need23 && !need45 {
-		fmt.Fprintf(os.Stderr, "gcbench: unknown figure %q\n", *fig)
-		os.Exit(2)
-	}
 
 	var allRows []harness.Row
 	if need23 {

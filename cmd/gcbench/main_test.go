@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func defaults() options {
+	return options{
+		fig:     "all",
+		trials:  harness.DefaultRunConfig.Trials,
+		measure: harness.DefaultRunConfig.Measure,
+		warmup:  harness.DefaultRunConfig.Warmup,
+		workers: 1,
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	cases := []func(*options){
+		func(o *options) {},
+		func(o *options) { o.fig = "2" },
+		func(o *options) { o.fig = "trace"; o.workers = 8 },
+		func(o *options) { o.fig = "pause" },
+		func(o *options) { o.fig = "pause"; o.incremental = 5000 },
+		func(o *options) { o.warmup = 0 },
+	}
+	for i, mut := range cases {
+		o := defaults()
+		mut(&o)
+		if err := validate(o); err != nil {
+			t.Errorf("case %d: validate(%+v) = %v, want nil", i, o, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		mut  func(*options)
+		want string
+	}{
+		{func(o *options) { o.fig = "6" }, "unknown figure"},
+		{func(o *options) { o.trials = 0 }, "-trials"},
+		{func(o *options) { o.measure = 0 }, "-measure"},
+		{func(o *options) { o.warmup = -1 }, "-warmup"},
+		{func(o *options) { o.workers = 0 }, "-workers"},
+		{func(o *options) { o.incremental = -1 }, "cannot be negative"},
+		// Incremental marking is serial by design; combining it with the
+		// parallel tracer must be rejected here, not by a runtime panic.
+		{func(o *options) { o.fig = "pause"; o.incremental = 100; o.workers = 4 }, "cannot be combined"},
+		// The published figures are stop-the-world; a budget on them would
+		// silently measure a different collector than the paper's.
+		{func(o *options) { o.fig = "all"; o.incremental = 100 }, "stop-the-world as published"},
+		{func(o *options) { o.fig = "3"; o.incremental = 100 }, "stop-the-world as published"},
+	}
+	for i, c := range cases {
+		o := defaults()
+		c.mut(&o)
+		err := validate(o)
+		if err == nil {
+			t.Errorf("case %d: validate(%+v) = nil, want error containing %q", i, o, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d: validate(%+v) = %q, want it to contain %q", i, o, err, c.want)
+		}
+	}
+}

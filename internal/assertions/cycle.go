@@ -214,17 +214,27 @@ func (e *Engine) PreSweep(live func(vmheap.Ref) bool) {
 	// Vacate dying owners first so their ownees can be dropped in the
 	// same pass.
 	deadOwner := make([]bool, len(e.owners))
+	var dying []vmheap.Ref
 	for i, o := range e.owners {
 		if o == vmheap.Nil {
 			continue
 		}
 		if !marked(o) {
 			deadOwner[i] = true
+			dying = append(dying, o)
 			delete(e.ownerIndex, o)
 			// The object is about to be freed; its header dies with it,
 			// so there is no bit to clear.
 			e.owners[i] = vmheap.Nil
 		}
+	}
+	// An owner is deliberately never marked by its own region's scans (back
+	// edges must not keep a collectable owner alive), so an owner can die
+	// while its region survives on the pre-phase marks. Null the survivors'
+	// references into the dying owners — left in place they would dangle
+	// into freed, recyclable memory.
+	if len(dying) > 0 {
+		e.nullRefsTo(dying, marked)
 	}
 
 	kept := e.ownees[:0]
@@ -241,6 +251,39 @@ func (e *Engine) PreSweep(live func(vmheap.Ref) bool) {
 		}
 	}
 	e.ownees = kept
+}
+
+// nullRefsTo nulls every reference slot of a surviving object that points
+// at one of the dying owner objects. Only objects marked by the ownership
+// phase's truncation rules can hold such references (any root-phase scan
+// reaching an owner would have marked it), so this runs only on cycles that
+// actually collect an owner.
+func (e *Engine) nullRefsTo(dying []vmheap.Ref, live func(vmheap.Ref) bool) {
+	dead := make(map[vmheap.Ref]bool, len(dying))
+	for _, r := range dying {
+		dead[r] = true
+	}
+	h := e.heap
+	h.Iterate(func(r vmheap.Ref, _ uint64) {
+		if !live(r) {
+			return
+		}
+		switch h.KindOf(r) {
+		case vmheap.KindScalar:
+			for _, off := range e.reg.RefOffsets(h.ClassID(r)) {
+				if dead[h.RefAt(r, uint32(off))] {
+					h.SetRefAt(r, uint32(off), vmheap.Nil)
+				}
+			}
+		case vmheap.KindRefArray:
+			n := h.ArrayLen(r)
+			for i := uint32(0); i < n; i++ {
+				if dead[vmheap.Ref(h.ArrayWord(r, i))] {
+					h.SetArrayWord(r, i, 0)
+				}
+			}
+		}
+	})
 }
 
 // SweepFlags returns the header bits the sweep must clear on survivors:

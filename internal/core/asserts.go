@@ -7,6 +7,22 @@ import "errors"
 // infrastructure).
 var ErrAssertionsDisabled = errors.New("core: assertions require Infrastructure mode")
 
+// finishCycleForRegistration completes any active incremental collection
+// cycle before an assertion is registered. Registration is a
+// snapshot-boundary operation: it flips header bits, instance limits, or
+// region queues that an in-flight trace has partially observed, so the
+// in-flight cycle — whose snapshot predates the registration — is checked
+// and swept first, exactly as a stop-the-world collection completes before
+// the program can register anything new. A *report.HaltError from that
+// completion is returned and the registration does not happen; the caller
+// observes the halt just as it would from the collection call itself.
+func (rt *Runtime) finishCycleForRegistration() error {
+	if !rt.collector.IncrementalActive() {
+		return nil
+	}
+	return rt.collector.FinishFull()
+}
+
 // AssertDead asserts that obj will be reclaimed by the next full
 // collection: if the collector finds it reachable, a DeadReachable
 // violation with the complete heap path is reported.
@@ -15,6 +31,9 @@ func (rt *Runtime) AssertDead(obj Ref) error {
 	defer rt.mu.Unlock()
 	if rt.engine == nil {
 		return ErrAssertionsDisabled
+	}
+	if err := rt.finishCycleForRegistration(); err != nil {
+		return err
 	}
 	return rt.engine.AssertDead(obj)
 }
@@ -28,6 +47,9 @@ func (rt *Runtime) AssertUnshared(obj Ref) error {
 	if rt.engine == nil {
 		return ErrAssertionsDisabled
 	}
+	if err := rt.finishCycleForRegistration(); err != nil {
+		return err
+	}
 	return rt.engine.AssertUnshared(obj)
 }
 
@@ -40,6 +62,9 @@ func (rt *Runtime) AssertInstances(c *Class, limit int64) error {
 	if rt.engine == nil {
 		return ErrAssertionsDisabled
 	}
+	if err := rt.finishCycleForRegistration(); err != nil {
+		return err
+	}
 	return rt.engine.AssertInstances(c, limit, false)
 }
 
@@ -50,6 +75,9 @@ func (rt *Runtime) AssertInstancesIncludingSubclasses(c *Class, limit int64) err
 	defer rt.mu.Unlock()
 	if rt.engine == nil {
 		return ErrAssertionsDisabled
+	}
+	if err := rt.finishCycleForRegistration(); err != nil {
+		return err
 	}
 	return rt.engine.AssertInstances(c, limit, true)
 }
@@ -63,6 +91,9 @@ func (rt *Runtime) AssertOwnedBy(owner, ownee Ref) error {
 	defer rt.mu.Unlock()
 	if rt.engine == nil {
 		return ErrAssertionsDisabled
+	}
+	if err := rt.finishCycleForRegistration(); err != nil {
+		return err
 	}
 	return rt.engine.AssertOwnedBy(owner, ownee)
 }
@@ -87,6 +118,9 @@ func (t *Thread) AssertAllDead() error {
 	defer t.rt.mu.Unlock()
 	if t.rt.engine == nil {
 		return ErrAssertionsDisabled
+	}
+	if err := t.rt.finishCycleForRegistration(); err != nil {
+		return err
 	}
 	return t.rt.engine.AssertAllDead(t.th)
 }

@@ -27,6 +27,15 @@ func (rt *Runtime) LiveSet() []LiveObject {
 	return out
 }
 
+// HeaderFlags returns the raw header flag bits of the object at r (see
+// vmheap's Flag constants). Tool-grade: tests use it to observe assertion
+// bits (dead, unshared, ownee) and collection bits (mark, scanned) directly.
+func (rt *Runtime) HeaderFlags(r Ref) uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.heap.Flags(r, ^uint64(0))
+}
+
 // FreeChunks returns the heap's free-list contents in the allocator's
 // deterministic bin order.
 func (rt *Runtime) FreeChunks() []vmheap.FreeChunk {

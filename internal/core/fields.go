@@ -1,8 +1,11 @@
 package core
 
 // Field and array accessors. Reference stores go through the collector's
-// write barrier (a no-op for mark-sweep, remembered-set maintenance for the
-// generational collector).
+// write barriers: the generational barrier (a no-op for mark-sweep,
+// remembered-set maintenance for the generational collector) and the
+// snapshot-at-beginning barrier (a no-op unless an incremental collection
+// cycle is active, in which case the first store into a not-yet-scanned
+// object scans its snapshot references before they can be overwritten).
 //
 // Field offsets come from Class.MustFieldIndex; workload code resolves them
 // once at setup and uses the integer offsets on the hot paths, the way a
@@ -20,6 +23,7 @@ func (rt *Runtime) SetRef(obj Ref, off uint16, val Ref) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.collector.WriteBarrier(obj)
+	rt.collector.SnapshotBarrier(obj)
 	rt.heap.SetRefAt(obj, uint32(off), val)
 }
 
@@ -68,6 +72,7 @@ func (rt *Runtime) ArrSetRef(arr Ref, i int, val Ref) {
 	defer rt.mu.Unlock()
 	rt.checkIndex(arr, i)
 	rt.collector.WriteBarrier(arr)
+	rt.collector.SnapshotBarrier(arr)
 	rt.heap.SetArrayWord(arr, uint32(i), uint64(val))
 }
 

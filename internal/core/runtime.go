@@ -80,6 +80,15 @@ type Config struct {
 	// published figures use it); >= 2 enables the parallel work-stealing
 	// trace with that many goroutines.
 	TraceWorkers int
+	// IncrementalBudget > 0 enables incremental full collections: the mark
+	// phase runs in slices of that many objects interleaved with mutator
+	// work (StartGC / GCStep / FinishGC, plus a per-allocation tax), behind
+	// a snapshot-at-beginning write barrier, so assertion checks observe
+	// the heap as it was when the cycle began. 0 (the default) keeps the
+	// paper's stop-the-world collections — all published figures use it.
+	// Requires Infrastructure mode; mutually exclusive with
+	// TraceWorkers >= 2 (the incremental worklist is single-threaded).
+	IncrementalBudget int
 }
 
 // Runtime is a managed heap plus its collector and assertion engine.
@@ -105,6 +114,17 @@ func (rt *Runtime) rootSource() roots.Source { return rt.rootSrc }
 
 // New creates a runtime with the given configuration.
 func New(cfg Config) *Runtime {
+	if cfg.IncrementalBudget < 0 {
+		panic("core: IncrementalBudget must not be negative")
+	}
+	if cfg.IncrementalBudget > 0 {
+		if cfg.Mode != Infrastructure {
+			panic("core: IncrementalBudget requires Infrastructure mode")
+		}
+		if cfg.TraceWorkers >= 2 {
+			panic("core: IncrementalBudget excludes TraceWorkers >= 2 (the incremental worklist is single-threaded)")
+		}
+	}
 	rt := &Runtime{
 		heap:     vmheap.New(cfg.HeapWords),
 		reg:      classes.NewRegistry(),
@@ -128,10 +148,12 @@ func New(cfg Config) *Runtime {
 	case MarkSweep:
 		ms := gc.NewMarkSweep(rt.heap, rt.reg, src, cfg.Mode, rt.engine)
 		ms.TraceWorkers = cfg.TraceWorkers
+		ms.IncrementalBudget = cfg.IncrementalBudget
 		rt.collector = ms
 	case Generational:
 		g := gc.NewGenerational(rt.heap, rt.reg, src, cfg.Mode, rt.engine)
 		g.TraceWorkers = cfg.TraceWorkers
+		g.IncrementalBudget = cfg.IncrementalBudget
 		if cfg.GenMajorEvery > 0 {
 			g.MajorEvery = cfg.GenMajorEvery
 		}
@@ -221,6 +243,46 @@ func (rt *Runtime) Collect() error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.collector.Collect()
+}
+
+// StartGC begins an incremental full collection: the snapshot root scan
+// (and any ownership pre-phase) runs in one pause, and marking then
+// proceeds in bounded slices — one per allocation as a tax, plus any GCStep
+// calls — until FinishGC (or any forced full collection) completes the
+// cycle. With IncrementalBudget == 0 it is equivalent to GC: one
+// stop-the-world full collection. A no-op if a cycle is already active.
+func (rt *Runtime) StartGC() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.collector.StartFull()
+}
+
+// GCStep runs one bounded mark slice of an active incremental cycle,
+// completing the cycle (sweep and all end-of-cycle checks included) when
+// marking finishes. It reports whether the cycle is complete; with no
+// active cycle it reports true immediately.
+func (rt *Runtime) GCStep() (done bool, err error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.collector.StepFull()
+}
+
+// FinishGC drives any active incremental cycle to completion and returns
+// its result (a *report.HaltError if a violation handler requested Halt —
+// including one stashed from a cycle that completed inside the allocation
+// tax). A no-op returning nil when no cycle is active and nothing is
+// stashed.
+func (rt *Runtime) FinishGC() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.collector.FinishFull()
+}
+
+// GCActive reports whether an incremental collection cycle is in flight.
+func (rt *Runtime) GCActive() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.collector.IncrementalActive()
 }
 
 // Violations returns the assertion violations recorded so far.

@@ -142,6 +142,11 @@ func (t *Thread) alloc(kind vmheap.Kind, classID uint32, n uint32) (Ref, error) 
 		t.th.RecordRegionAlloc(r)
 	}
 	t.th.CountAlloc()
+
+	// Incremental mode (a no-op otherwise): start a cycle when free space
+	// runs low, allocate black during an active cycle, and pay one mark
+	// slice as an allocation tax.
+	rt.collector.DidAllocate(r)
 	return r, nil
 }
 

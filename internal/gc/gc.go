@@ -73,6 +73,38 @@ type Stats struct {
 	TraceFallbacks uint64 // parallel traces that re-ran serially to report
 	WorkerScans    []uint64 // cumulative objects scanned, by worker index
 	WorkerSteals   []uint64 // cumulative successful steals, by worker index
+
+	// Incremental-mode totals; all zero when IncrementalBudget == 0.
+	IncrementalCycles uint64 // full cycles completed incrementally
+	MarkSlices        uint64 // bounded mark slices executed
+	BarrierScans      uint64 // objects snapshot-scanned by the write barrier
+	BarrierRefs       uint64 // reference slots processed by barrier scans
+
+	// Pause accounting. Every stop-the-world interval — a whole collection
+	// for the stop-the-world collectors; a cycle start, mark slice,
+	// barrier scan, or completion for incremental mode — adds to PauseTime
+	// and may raise MaxPause. All collector work happens inside pauses
+	// (incremental, not concurrent), so PauseTime always equals GCTime;
+	// the incremental win shows up in MaxPause, which is bounded by the
+	// largest single interval rather than the full cycle.
+	PauseTime time.Duration
+	MaxPause  time.Duration
+}
+
+// addPause records one stop-the-world interval.
+func (s *Stats) addPause(d time.Duration) {
+	s.PauseTime += d
+	if d > s.MaxPause {
+		s.MaxPause = d
+	}
+}
+
+// addIncrementalWork attributes one incremental STW interval to the cycle
+// totals and the pause accounting.
+func (s *Stats) addIncrementalWork(d time.Duration) {
+	s.GCTime += d
+	s.FullGCTime += d
+	s.addPause(d)
 }
 
 // addTrace folds one collection's trace counters into the totals.
@@ -117,6 +149,24 @@ type Collector interface {
 	Stats() *Stats
 	// Name identifies the collector in harness output.
 	Name() string
+
+	// Incremental driving (no-ops unless the collector was configured with
+	// an IncrementalBudget > 0). StartFull begins an incremental full
+	// collection — snapshot root scan in one pause — falling back to a
+	// stop-the-world CollectFull when incremental mode is off. StepFull
+	// runs one bounded mark slice and completes the cycle (sweep included)
+	// when the worklist drains, reporting completion. FinishFull drives
+	// any in-flight cycle to completion. IncrementalActive reports an
+	// in-flight cycle. SnapshotBarrier must be called before every
+	// reference store (the snapshot-at-beginning barrier); DidAllocate
+	// after every successful allocation (trigger check, allocate-black,
+	// allocation-tax slice).
+	StartFull() error
+	StepFull() (done bool, err error)
+	FinishFull() error
+	IncrementalActive() bool
+	SnapshotBarrier(obj vmheap.Ref)
+	DidAllocate(r vmheap.Ref)
 }
 
 // MarkSweep is the full-heap mark-sweep collector the paper evaluates.
@@ -134,6 +184,15 @@ type MarkSweep struct {
 	// ownership pre-phase always trace serially — the owner/ownee scan
 	// order is part of the assertion semantics.
 	TraceWorkers int
+
+	// IncrementalBudget > 0 enables incremental full collections: marking
+	// proceeds in slices of that many objects interleaved with mutator
+	// work, behind a snapshot-at-beginning write barrier. 0 (the default)
+	// keeps the paper's stop-the-world collections. Mutually exclusive
+	// with TraceWorkers >= 2 (enforced by core.New).
+	IncrementalBudget int
+
+	inc incCycle
 }
 
 // NewMarkSweep creates the collector. engine must be nil exactly when mode
@@ -159,6 +218,63 @@ func (c *MarkSweep) Stats() *Stats { return &c.stats }
 
 // WriteBarrier is a no-op for a non-generational collector.
 func (c *MarkSweep) WriteBarrier(vmheap.Ref) {}
+
+// incParts assembles the shared incremental driver over this collector.
+func (c *MarkSweep) incParts() incShared {
+	return incShared{
+		heap:   c.heap,
+		tracer: c.tracer,
+		engine: c.engine,
+		roots:  c.roots,
+		mode:   c.mode,
+		stats:  &c.stats,
+		st:     &c.inc,
+		budget: c.IncrementalBudget,
+		finishSweep: func(clear uint64, onFree func(vmheap.Ref, uint64)) vmheap.SweepStats {
+			return c.heap.Sweep(vmheap.SweepOptions{ClearFlags: clear, OnFree: onFree})
+		},
+	}
+}
+
+// StartFull implements Collector: begin an incremental cycle, or run a
+// stop-the-world full collection when incremental mode is off.
+func (c *MarkSweep) StartFull() error {
+	if c.IncrementalBudget <= 0 {
+		return c.CollectFull()
+	}
+	p := c.incParts()
+	if err := p.takePending(); err != nil {
+		return err
+	}
+	p.start()
+	return nil
+}
+
+// StepFull implements Collector: one bounded mark slice.
+func (c *MarkSweep) StepFull() (bool, error) { return c.incParts().step() }
+
+// FinishFull implements Collector: complete any in-flight cycle.
+func (c *MarkSweep) FinishFull() error { return c.incParts().finish() }
+
+// IncrementalActive implements Collector.
+func (c *MarkSweep) IncrementalActive() bool { return c.inc.active }
+
+// SnapshotBarrier implements Collector: the snapshot-at-beginning barrier.
+func (c *MarkSweep) SnapshotBarrier(obj vmheap.Ref) {
+	if !c.inc.active {
+		return
+	}
+	c.incParts().snapshotBarrier(obj)
+}
+
+// DidAllocate implements Collector: incremental trigger, allocate-black,
+// and the allocation-tax slice.
+func (c *MarkSweep) DidAllocate(r vmheap.Ref) {
+	if c.IncrementalBudget <= 0 {
+		return
+	}
+	c.incParts().didAllocate(r)
+}
 
 // Collect implements Collector: every MarkSweep collection is full-heap.
 func (c *MarkSweep) Collect() error { return c.CollectFull() }
@@ -189,8 +305,13 @@ func markFull(t *trace.Tracer, eng *assertions.Engine, src roots.Source, mode Mo
 	t.TraceBase(src)
 }
 
-// CollectFull performs one full collection.
+// CollectFull performs one full collection. An in-flight incremental cycle
+// is driven to completion instead — its snapshot is already taken, and
+// completing it is a full collection with all checks.
 func (c *MarkSweep) CollectFull() error {
+	if c.inc.active || c.inc.pending != nil {
+		return c.incParts().finish()
+	}
 	start := time.Now()
 	c.tracer.Reset()
 
@@ -214,6 +335,7 @@ func (c *MarkSweep) CollectFull() error {
 	c.stats.FullCollections++
 	c.stats.GCTime += elapsed
 	c.stats.FullGCTime += elapsed
+	c.stats.addPause(elapsed)
 	c.stats.MarkedObjects += ts.Visited
 	c.stats.FreedObjects += sw.FreedObjects
 	c.stats.FreedWords += sw.FreedWords

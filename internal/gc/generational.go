@@ -47,6 +47,14 @@ type Generational struct {
 	// remembered-set walk is not worth a fan-out).
 	TraceWorkers int
 
+	// IncrementalBudget > 0 makes major collections incremental (see
+	// MarkSweep.IncrementalBudget). Minor collections never run while a
+	// major cycle is in flight — a minor sweep would recycle addresses the
+	// major's snapshot still references.
+	IncrementalBudget int
+
+	inc incCycle
+
 	minorsSinceMajor int
 }
 
@@ -88,9 +96,78 @@ func (c *Generational) WriteBarrier(parent vmheap.Ref) {
 	c.remembered = append(c.remembered, parent)
 }
 
+// incParts assembles the shared incremental driver over this collector.
+// The completion sweep is major-collection shaped: survivors are promoted
+// and the remembered set is dropped.
+func (c *Generational) incParts() incShared {
+	return incShared{
+		heap:   c.heap,
+		tracer: c.tracer,
+		engine: c.engine,
+		roots:  c.roots,
+		mode:   c.mode,
+		stats:  &c.stats,
+		st:     &c.inc,
+		budget: c.IncrementalBudget,
+		finishSweep: func(clear uint64, onFree func(vmheap.Ref, uint64)) vmheap.SweepStats {
+			c.dropRememberedSet()
+			sw := c.heap.Sweep(vmheap.SweepOptions{
+				ClearFlags: clear,
+				SetFlags:   vmheap.FlagMature,
+				OnFree:     onFree,
+			})
+			c.minorsSinceMajor = 0
+			return sw
+		},
+	}
+}
+
+// StartFull implements Collector (see MarkSweep.StartFull).
+func (c *Generational) StartFull() error {
+	if c.IncrementalBudget <= 0 {
+		return c.CollectFull()
+	}
+	p := c.incParts()
+	if err := p.takePending(); err != nil {
+		return err
+	}
+	p.start()
+	return nil
+}
+
+// StepFull implements Collector.
+func (c *Generational) StepFull() (bool, error) { return c.incParts().step() }
+
+// FinishFull implements Collector.
+func (c *Generational) FinishFull() error { return c.incParts().finish() }
+
+// IncrementalActive implements Collector.
+func (c *Generational) IncrementalActive() bool { return c.inc.active }
+
+// SnapshotBarrier implements Collector.
+func (c *Generational) SnapshotBarrier(obj vmheap.Ref) {
+	if !c.inc.active {
+		return
+	}
+	c.incParts().snapshotBarrier(obj)
+}
+
+// DidAllocate implements Collector.
+func (c *Generational) DidAllocate(r vmheap.Ref) {
+	if c.IncrementalBudget <= 0 {
+		return
+	}
+	c.incParts().didAllocate(r)
+}
+
 // Collect implements Collector: minor by default, escalating to major per
-// policy.
+// policy. While a major incremental cycle is in flight the policy is
+// overridden: the cycle is completed instead (a minor sweep would recycle
+// addresses the snapshot still references).
 func (c *Generational) Collect() error {
+	if c.inc.active || c.inc.pending != nil {
+		return c.incParts().finish()
+	}
 	if c.minorsSinceMajor >= c.MajorEvery {
 		return c.CollectFull()
 	}
@@ -134,6 +211,7 @@ func (c *Generational) collectMinor() error {
 	c.stats.Collections++
 	c.stats.MinorCollections++
 	c.stats.GCTime += elapsed
+	c.stats.addPause(elapsed)
 	c.stats.MarkedObjects += ts.Visited
 	c.stats.FreedObjects += sw.FreedObjects
 	c.stats.FreedWords += sw.FreedWords
@@ -144,8 +222,12 @@ func (c *Generational) collectMinor() error {
 }
 
 // CollectFull performs a major (full-heap) collection with assertion
-// checking, and promotes all survivors.
+// checking, and promotes all survivors. An in-flight incremental cycle is
+// driven to completion instead.
 func (c *Generational) CollectFull() error {
+	if c.inc.active || c.inc.pending != nil {
+		return c.incParts().finish()
+	}
 	start := time.Now()
 	c.tracer.Reset()
 
@@ -171,6 +253,7 @@ func (c *Generational) CollectFull() error {
 	c.stats.FullCollections++
 	c.stats.GCTime += elapsed
 	c.stats.FullGCTime += elapsed
+	c.stats.addPause(elapsed)
 	c.stats.MarkedObjects += ts.Visited
 	c.stats.FreedObjects += sw.FreedObjects
 	c.stats.FreedWords += sw.FreedWords

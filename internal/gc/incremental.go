@@ -1,0 +1,182 @@
+package gc
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/assertions"
+	"repro/internal/report"
+	"repro/internal/roots"
+	"repro/internal/trace"
+	"repro/internal/vmheap"
+)
+
+// Incremental full collections: the cycle the stop-the-world CollectFull
+// runs in one pause is split into a snapshot pause (root scan plus any
+// ownership pre-phase), bounded mark slices interleaved with mutator work,
+// and a completion pause (terminal drain, instance-limit checks, sweep).
+// The snapshot-at-beginning write barrier (trace.Tracer.SnapshotObject,
+// called via Collector.SnapshotBarrier from every reference store) keeps
+// the checks observing the snapshot heap; DESIGN.md §8 gives the soundness
+// argument per assertion kind. Both collectors share this driver; only the
+// completion sweep differs.
+
+// incTriggerFraction: an allocation that leaves less than this fraction of
+// the heap free starts an incremental cycle, so collection work is paid as
+// an allocation tax before the heap exhausts and forces a long pause.
+const incTriggerFraction = 0.25
+
+// incCycle is the in-flight incremental collection state.
+type incCycle struct {
+	active bool
+	// pending holds a HaltError from a cycle that completed inside the
+	// allocation tax, where no caller could receive it; the next collector
+	// entry point surfaces it.
+	pending error
+}
+
+// incShared bundles the collector pieces the shared driver works on.
+// finishSweep runs the collector-specific sweep of a completed cycle (the
+// generational collector promotes survivors and drops its remembered set).
+type incShared struct {
+	heap        *vmheap.Heap
+	tracer      *trace.Tracer
+	engine      *assertions.Engine // nil in Base mode
+	roots       roots.Source
+	mode        Mode
+	stats       *Stats
+	st          *incCycle
+	budget      int
+	finishSweep func(clear uint64, onFree func(vmheap.Ref, uint64)) vmheap.SweepStats
+}
+
+// takePending consumes a stashed completion error.
+func (p incShared) takePending() error {
+	err := p.st.pending
+	p.st.pending = nil
+	return err
+}
+
+// start begins a cycle: one pause covering the tracer reset, the assertion
+// cycle setup, any ownership pre-phase, and the snapshot root scan. A no-op
+// when a cycle is already active.
+func (p incShared) start() {
+	if p.st.active {
+		return
+	}
+	begin := time.Now()
+	t := p.tracer
+	t.Reset()
+	t.BeginIncremental()
+	if p.mode == Infrastructure {
+		p.engine.BeginCycle()
+		t.SetChecks(p.engine.Checks())
+		if ph := p.engine.OwnershipPhase(); ph != nil {
+			t.RunOwnershipPhase(ph)
+		}
+	}
+	t.StartIncremental(p.roots)
+	p.st.active = true
+	p.stats.addIncrementalWork(time.Since(begin))
+}
+
+// step runs one bounded mark slice, completing the cycle when the worklist
+// drains. With no cycle active it reports done immediately (surfacing any
+// stashed error first).
+func (p incShared) step() (bool, error) {
+	if err := p.takePending(); err != nil {
+		return true, err
+	}
+	if !p.st.active {
+		return true, nil
+	}
+	begin := time.Now()
+	done := p.tracer.IncrementalSlice(p.budget)
+	p.stats.MarkSlices++
+	p.stats.addIncrementalWork(time.Since(begin))
+	if done {
+		return true, p.finish()
+	}
+	return false, nil
+}
+
+// finish drives an active cycle to completion in one pause: terminal drain
+// of the worklist (snapshot-at-beginning needs no root rescan — every
+// reference the mutator can still hold is marked or will be popped from the
+// worklist), instance-limit checks, table purges, and the sweep.
+func (p incShared) finish() error {
+	if err := p.takePending(); err != nil {
+		return err
+	}
+	if !p.st.active {
+		return nil
+	}
+	begin := time.Now()
+	t := p.tracer
+	t.IncrementalSlice(math.MaxInt)
+
+	var sweepClear uint64
+	var onFree func(vmheap.Ref, uint64)
+	if p.mode == Infrastructure {
+		p.engine.CheckInstanceLimits()
+		p.engine.PreSweep(func(r vmheap.Ref) bool {
+			return p.heap.Flags(r, vmheap.FlagMark) != 0
+		})
+		sweepClear = p.engine.SweepFlags()
+		onFree = p.engine.FreeHook()
+	}
+	sw := p.finishSweep(sweepClear|vmheap.FlagScanned, onFree)
+	t.EndIncremental()
+	p.st.active = false
+
+	ts := t.Stats()
+	s := p.stats
+	s.Collections++
+	s.FullCollections++
+	s.IncrementalCycles++
+	s.MarkedObjects += ts.Visited
+	s.FreedObjects += sw.FreedObjects
+	s.FreedWords += sw.FreedWords
+	s.LastLiveWords = sw.LiveWords
+	s.addTrace(ts)
+	s.addIncrementalWork(time.Since(begin))
+
+	if p.mode == Infrastructure {
+		if v := p.engine.Halted(); v != nil {
+			return &report.HaltError{Violation: v}
+		}
+	}
+	return nil
+}
+
+// snapshotBarrier scans obj's snapshot references on its first mutator
+// write during an active cycle (a no-op otherwise, and for objects already
+// scanned).
+func (p incShared) snapshotBarrier(obj vmheap.Ref) {
+	begin := time.Now()
+	refs, scanned := p.tracer.SnapshotObject(obj)
+	if !scanned {
+		return
+	}
+	p.stats.BarrierScans++
+	p.stats.BarrierRefs += refs
+	p.stats.addIncrementalWork(time.Since(begin))
+}
+
+// didAllocate is the per-allocation hook: start a cycle when free space
+// runs low, mark the fresh object black (no snapshot reference can reach
+// it, and its slots hold nothing to scan), and pay one mark slice as an
+// allocation tax. A HaltError from a tax-completed cycle is stashed for the
+// next entry point — the allocation itself already succeeded.
+func (p incShared) didAllocate(r vmheap.Ref) {
+	if !p.st.active {
+		if float64(p.heap.FreeWords()) >= incTriggerFraction*float64(p.heap.CapacityWords()) {
+			return
+		}
+		p.start()
+	}
+	p.heap.SetFlags(r, vmheap.FlagMark|vmheap.FlagScanned)
+	if _, err := p.step(); err != nil {
+		p.st.pending = err
+	}
+}

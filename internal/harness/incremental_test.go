@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPauseReportSmoke runs a miniature pause report and checks the shape
+// of the rows: the stop-the-world row pauses once per collection, the
+// incremental row pauses more often in bounded slices, and the quantiles
+// are ordered.
+func TestPauseReportSmoke(t *testing.T) {
+	cfg := PauseReportConfig{
+		Graph:          TraceScalingConfig{HeapWords: 1 << 16, Nodes: 2000, Roots: 8, Seed: 1},
+		Budgets:        []int{0, 200},
+		Collections:    3,
+		WritesPerSlice: 4,
+	}
+	rows := RunPauseReport(cfg, nil)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	stw, inc := rows[0], rows[1]
+	if stw.Pauses != cfg.Collections {
+		t.Errorf("stop-the-world pauses = %d, want one per collection (%d)", stw.Pauses, cfg.Collections)
+	}
+	if stw.SlicesPerGC != 0 || stw.BarrierScansPerGC != 0 {
+		t.Errorf("stop-the-world row has incremental activity: %+v", stw)
+	}
+	// Each incremental cycle pauses at least for start, one slice, and
+	// finish.
+	if inc.Pauses < 3*cfg.Collections {
+		t.Errorf("incremental pauses = %d, want >= %d", inc.Pauses, 3*cfg.Collections)
+	}
+	if inc.SlicesPerGC <= 0 {
+		t.Errorf("incremental slices/gc = %v, want > 0", inc.SlicesPerGC)
+	}
+	if inc.BarrierScansPerGC <= 0 {
+		t.Errorf("incremental barriers/gc = %v, want > 0", inc.BarrierScansPerGC)
+	}
+	for _, r := range rows {
+		if !(r.P50 <= r.P95 && r.P95 <= r.P99 && r.P99 <= r.Max) {
+			t.Errorf("budget %d: quantiles out of order: %+v", r.Budget, r)
+		}
+	}
+	out := FormatPauseReport(rows)
+	if !strings.Contains(out, "budget") || !strings.Contains(out, "stop-the-world") {
+		t.Errorf("FormatPauseReport output missing headers:\n%s", out)
+	}
+}

@@ -54,8 +54,9 @@ type TraceScalingRow struct {
 // BuildScalingGraph fills rt with a pseudo-random graph: all nodes are held
 // by a rooted spine array (breadth for the root scan) and additionally
 // wired into random ternary tangles (depth and sharing for the mark loop).
-// Exported for the BenchmarkParallelTrace scaling curves.
-func BuildScalingGraph(rt *core.Runtime, cfg TraceScalingConfig) {
+// It returns the spine array and the node class so callers can mutate the
+// graph mid-cycle. Exported for the BenchmarkParallelTrace scaling curves.
+func BuildScalingGraph(rt *core.Runtime, cfg TraceScalingConfig) (core.Ref, *core.Class) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	node := rt.DefineClass("SNode",
 		core.RefField("l"), core.RefField("r"), core.RefField("x"),
@@ -85,6 +86,7 @@ func BuildScalingGraph(rt *core.Runtime, cfg TraceScalingConfig) {
 	for g := 0; g < cfg.Roots; g++ {
 		rt.AddGlobal(fmt.Sprintf("r%d", g)).Set(refs[rng.Intn(cfg.Nodes)])
 	}
+	return arr, node
 }
 
 // RunTraceScaling measures full-collection time over the scaling graph at

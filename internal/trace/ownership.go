@@ -46,7 +46,7 @@ type OwnershipPhase struct {
 // their checks must piggyback on this traversal. Paths reported from this
 // phase begin at an owner or ownee rather than a root.
 func (t *Tracer) RunOwnershipPhase(p *OwnershipPhase) {
-	var queue []vmheap.Ref
+	var queue, improper []vmheap.Ref
 
 	// Phase 1a: truncated scan from each owner.
 	for i, owner := range p.Owners {
@@ -59,7 +59,22 @@ func (t *Tracer) RunOwnershipPhase(p *OwnershipPhase) {
 		// the owner object when we do the ownership scan").
 		t.stack = t.stack[:0]
 		t.stack = append(t.stack, uint32(owner))
-		t.drainOwnerScan(i, owner, p, &queue)
+		t.drainOwnerScan(i, owner, p, &queue, &improper)
+	}
+
+	// Improperly-reached ownees are left unmarked during the owner scans so
+	// their true owner's scan can still tag them owned. Any still unmarked
+	// now were never reached by their own owner — mark and queue them, or
+	// the sweep would free reachable objects: their parents were marked by
+	// the owner scans, so the root phase cannot rescan the path to them.
+	for _, c := range improper {
+		if t.heap.Flags(c, vmheap.FlagMark) != 0 {
+			continue
+		}
+		t.heap.SetFlags(c, vmheap.FlagMark)
+		t.stats.Visited++
+		t.countInstance(c)
+		queue = append(queue, c)
 	}
 
 	// Phase 1b: resume the truncated scans below each owned ownee.
@@ -73,7 +88,7 @@ func (t *Tracer) RunOwnershipPhase(p *OwnershipPhase) {
 // drainOwnerScan runs the path-tracking DFS with the owner-region
 // truncation rules, scanning on behalf of owner index cur (whose object is
 // curOwner).
-func (t *Tracer) drainOwnerScan(cur int, curOwner vmheap.Ref, p *OwnershipPhase, queue *[]vmheap.Ref) {
+func (t *Tracer) drainOwnerScan(cur int, curOwner vmheap.Ref, p *OwnershipPhase, queue, improper *[]vmheap.Ref) {
 	h := t.heap
 	for len(t.stack) > 0 {
 		e := t.stack[len(t.stack)-1]
@@ -83,6 +98,15 @@ func (t *Tracer) drainOwnerScan(cur int, curOwner vmheap.Ref, p *OwnershipPhase,
 		}
 		t.stack = append(t.stack, e|1)
 		r := vmheap.Ref(e)
+		if t.incScan && r != curOwner {
+			// Incremental cycle: this scan is the object's only one (the
+			// root phase skips it — it is marked). The seed owner stays
+			// untagged: it is left unmarked here, so the root phase scans
+			// it again if it is reachable, and the write barrier must
+			// stand in for that second scan if a mutator write comes
+			// first.
+			h.SetFlags(r, vmheap.FlagScanned)
+		}
 
 		switch h.KindOf(r) {
 		case vmheap.KindScalar:
@@ -92,7 +116,7 @@ func (t *Tracer) drainOwnerScan(cur int, curOwner vmheap.Ref, p *OwnershipPhase,
 					t.stats.RefsScanned++
 					continue
 				}
-				if t.checkOwnerScan(c, cur, curOwner, p, queue) {
+				if t.checkOwnerScan(c, cur, curOwner, p, queue, improper) {
 					h.SetRefAt(r, uint32(off), vmheap.Nil)
 				}
 			}
@@ -104,7 +128,7 @@ func (t *Tracer) drainOwnerScan(cur int, curOwner vmheap.Ref, p *OwnershipPhase,
 					t.stats.RefsScanned++
 					continue
 				}
-				if t.checkOwnerScan(c, cur, curOwner, p, queue) {
+				if t.checkOwnerScan(c, cur, curOwner, p, queue, improper) {
 					h.SetArrayWord(r, i, 0)
 				}
 			}
@@ -116,7 +140,7 @@ func (t *Tracer) drainOwnerScan(cur int, curOwner vmheap.Ref, p *OwnershipPhase,
 // checkOwnerScan is the per-encounter logic of an owner scan. It returns
 // true when the Force action requires the caller to null the reference it
 // followed.
-func (t *Tracer) checkOwnerScan(c vmheap.Ref, cur int, curOwner vmheap.Ref, p *OwnershipPhase, queue *[]vmheap.Ref) bool {
+func (t *Tracer) checkOwnerScan(c vmheap.Ref, cur int, curOwner vmheap.Ref, p *OwnershipPhase, queue, improper *[]vmheap.Ref) bool {
 	h := t.heap
 	t.stats.RefsScanned++
 	hd := h.Header(c)
@@ -150,7 +174,12 @@ func (t *Tracer) checkOwnerScan(c vmheap.Ref, cur int, curOwner vmheap.Ref, p *O
 	if hd&vmheap.FlagOwnee != 0 {
 		// An ownee truncates the scan. Reached from its own owner it is
 		// tagged owned and queued for phase 1b; reached from another
-		// owner the regions overlap — improper use.
+		// owner the regions overlap — improper use. The improper ownee is
+		// recorded but left unmarked (its own owner's scan may still be
+		// coming and must find it unmarked to tag it owned);
+		// RunOwnershipPhase marks and queues any that stay unreached, so
+		// the sweep never frees them while this scan's marks hide them
+		// from the root phase.
 		t.stats.OwneesChecked++
 		owner, ok := p.OwnerOf(c)
 		if ok && owner == cur {
@@ -158,8 +187,11 @@ func (t *Tracer) checkOwnerScan(c vmheap.Ref, cur int, curOwner vmheap.Ref, p *O
 			t.stats.Visited++
 			t.countInstance(c)
 			*queue = append(*queue, c)
-		} else if p.Improper != nil {
-			p.Improper(c, cur, func() []vmheap.Ref { return t.CurrentPath(c) })
+		} else {
+			if p.Improper != nil {
+				p.Improper(c, cur, func() []vmheap.Ref { return t.CurrentPath(c) })
+			}
+			*improper = append(*improper, c)
 		}
 		return false
 	}
@@ -167,8 +199,14 @@ func (t *Tracer) checkOwnerScan(c vmheap.Ref, cur int, curOwner vmheap.Ref, p *O
 	if p.IsOwner(c) {
 		// Another owner: mark it (it is reachable from the current
 		// owner's region, the paper's documented conservatism) and stop;
-		// its own scan handles its region.
+		// its own scan handles its region. Marked and never pushed, its
+		// slots are scanned exactly once — by its own seed iteration — so
+		// under an incremental cycle it is tagged here to keep the write
+		// barrier from scanning it a second time.
 		h.SetFlags(c, vmheap.FlagMark)
+		if t.incScan {
+			h.SetFlags(c, vmheap.FlagScanned)
+		}
 		t.stats.Visited++
 		t.countInstance(c)
 		return false
@@ -194,6 +232,11 @@ func (t *Tracer) drainOwneeSubtrees(p *OwnershipPhase) {
 		}
 		t.stack = append(t.stack, e|1)
 		r := vmheap.Ref(e)
+		if t.incScan {
+			// Incremental cycle: everything popped here is marked, so the
+			// root phase never rescans it — this is its only scan.
+			h.SetFlags(r, vmheap.FlagScanned)
+		}
 
 		switch h.KindOf(r) {
 		case vmheap.KindScalar:

@@ -72,6 +72,19 @@ type Tracer struct {
 	stats  Stats
 	pstats ParallelStats     // last parallel trace (zero when serial)
 	halt   *report.Violation // set when a handler requested Halt
+
+	// incScan is true while an incremental cycle is marking: scans set the
+	// per-object FlagScanned bit so the snapshot-at-beginning write barrier
+	// knows which objects still hold unprocessed snapshot references. Never
+	// set during stop-the-world traces, which therefore touch no new flag
+	// bits.
+	incScan bool
+
+	// barrierSrc is non-Nil while the write barrier is scanning an object's
+	// snapshot references; it replaces the worklist-derived path in
+	// CurrentPath (the worklist does not describe how the barrier reached
+	// the object).
+	barrierSrc vmheap.Ref
 }
 
 // New creates a tracer for the given heap and class registry.
@@ -96,6 +109,8 @@ func (t *Tracer) Reset() {
 	t.pstats = ParallelStats{}
 	t.halt = nil
 	t.stack = t.stack[:0]
+	t.incScan = false
+	t.barrierSrc = vmheap.Nil
 }
 
 // RequestHalt records a halt-requesting violation; the collector finishes
@@ -176,7 +191,6 @@ func (t *Tracer) TraceInfra(src roots.Source) {
 
 // drainInfra runs the path-tracking DFS until the worklist is empty.
 func (t *Tracer) drainInfra() {
-	h := t.heap
 	for len(t.stack) > 0 {
 		e := t.stack[len(t.stack)-1]
 		t.stack = t.stack[:len(t.stack)-1]
@@ -187,21 +201,26 @@ func (t *Tracer) drainInfra() {
 		// Keep the object on the worklist, tagged, while its children
 		// are traced; the tagged entries define the current path.
 		t.stack = append(t.stack, e|1)
-		r := vmheap.Ref(e)
+		t.scanObject(vmheap.Ref(e))
+	}
+}
 
-		switch h.KindOf(r) {
-		case vmheap.KindScalar:
-			for _, off := range t.reg.RefOffsets(h.ClassID(r)) {
-				t.encounterField(r, uint32(off))
-			}
-		case vmheap.KindRefArray:
-			n := h.ArrayLen(r)
-			for i := uint32(0); i < n; i++ {
-				t.encounterArraySlot(r, i)
-			}
-		case vmheap.KindDataArray:
-			// No references.
+// scanObject processes every reference slot of r through the Infrastructure
+// per-encounter checks.
+func (t *Tracer) scanObject(r vmheap.Ref) {
+	h := t.heap
+	switch h.KindOf(r) {
+	case vmheap.KindScalar:
+		for _, off := range t.reg.RefOffsets(h.ClassID(r)) {
+			t.encounterField(r, uint32(off))
 		}
+	case vmheap.KindRefArray:
+		n := h.ArrayLen(r)
+		for i := uint32(0); i < n; i++ {
+			t.encounterArraySlot(r, i)
+		}
+	case vmheap.KindDataArray:
+		// No references.
 	}
 }
 
@@ -298,8 +317,13 @@ func (t *Tracer) check(c vmheap.Ref) (forceNull bool) {
 // CurrentPath reconstructs the root-to-object path for the object currently
 // being encountered: the open (low-bit-tagged) worklist entries bottom to
 // top, followed by the object itself. During root scanning the path is just
-// the object.
+// the object. During a write-barrier snapshot scan the worklist describes an
+// unrelated traversal, so the path is the scanned source object followed by
+// the encountered object.
 func (t *Tracer) CurrentPath(obj vmheap.Ref) []vmheap.Ref {
+	if t.barrierSrc != vmheap.Nil {
+		return []vmheap.Ref{t.barrierSrc, obj}
+	}
 	var path []vmheap.Ref
 	for _, e := range t.stack {
 		if e&1 != 0 {

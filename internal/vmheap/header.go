@@ -48,6 +48,15 @@ const (
 	FlagFree     uint64 = 1 << 4 // this is a free chunk, not an object
 	FlagMature   uint64 = 1 << 5 // survived a collection (generational)
 	FlagRemember uint64 = 1 << 6 // present in the remembered set
+
+	// FlagScanned is only used during an incremental collection cycle: the
+	// object's reference slots have been processed (by a mark slice, the
+	// ownership pre-phase, or the snapshot-at-beginning write barrier)
+	// while they still held their snapshot values. The first mutator write
+	// to an object without this bit triggers the barrier scan; the sweep
+	// that completes the cycle clears it. Bits 7 and 10 are FlagOwnee and
+	// FlagOwner (ownee.go).
+	FlagScanned uint64 = 1 << 11
 )
 
 const (
