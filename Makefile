@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench difftest fuzz figures casestudies verify
+.PHONY: all build test race bench sweepbench difftest fuzz figures casestudies verify
 
 all: build test
 
@@ -17,17 +17,26 @@ race:
 bench:
 	go test -bench . -benchmem ./...
 
+# Sweep-mode microbenchmarks: eager vs parallel vs lazy sweep, and the
+# allocator with and without demand sweeping (see results/lazy_sweep.txt).
+sweepbench:
+	go test -run '^$$' -bench 'BenchmarkSweep|BenchmarkAlloc' -benchmem ./internal/vmheap
+
 # Differential tests: serial vs parallel collections on identical scripts,
-# and stop-the-world vs incremental cycles (plus the shadow-model oracle).
+# stop-the-world vs incremental cycles (plus the shadow-model oracle), and
+# eager vs parallel vs lazy sweep modes under both collectors.
 difftest:
 	go test -race -run 'TestDifferential|TestIncrementalDifferential|TestOracle' -v ./internal/trace
+	go test -race -run 'TestSweepModesDifferential|TestLazySweep' -v ./internal/core
 
-# Short coverage-guided fuzz runs: the serial/parallel equivalence and the
-# stop-the-world/incremental equivalence (go test takes one -fuzz pattern
-# per invocation, so the targets run sequentially).
+# Short coverage-guided fuzz runs: the serial/parallel equivalence, the
+# stop-the-world/incremental equivalence, and the eager/parallel/lazy sweep
+# equivalence (go test takes one -fuzz pattern per invocation, so the
+# targets run sequentially).
 fuzz:
 	go test -run '^$$' -fuzz FuzzParallelTrace -fuzztime 30s ./internal/core
 	go test -run '^$$' -fuzz FuzzIncrementalBarrier -fuzztime 30s ./internal/core
+	go test -run '^$$' -fuzz FuzzLazySweep -fuzztime 30s ./internal/core
 
 # Regenerate the paper's figures (text tables on stdout, CSV alongside).
 figures:

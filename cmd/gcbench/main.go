@@ -7,11 +7,15 @@
 //	gcbench -fig all   every paper figure
 //	gcbench -fig trace parallel-tracer scaling report (not a paper figure)
 //	gcbench -fig pause incremental pause-distribution report (not a paper figure)
+//	gcbench -fig sweep sweep-mode pause comparison (not a paper figure)
 //
 // -workers N runs the paper figures with the parallel tracer (N marking
 // goroutines); the published numbers use the default serial tracer.
 // -incremental N selects the bounded mark budget for -fig pause; the paper
 // figures themselves are always stop-the-world, as published.
+// -sweepworkers N and -lazysweep select the sweep mode for the paper
+// figures (the published numbers use the default eager serial sweep); -fig
+// sweep instead measures every mode side by side and ignores both flags.
 //
 // Methodology follows the paper: fixed heaps at roughly twice each
 // benchmark's minimum live size, warmup iterations discarded, repeated
@@ -30,21 +34,23 @@ import (
 // options collects the flag values so validation is testable apart from
 // flag parsing and execution.
 type options struct {
-	fig         string
-	trials      int
-	measure     int
-	warmup      int
-	workers     int
-	incremental int
+	fig          string
+	trials       int
+	measure      int
+	warmup       int
+	workers      int
+	incremental  int
+	sweepWorkers int
+	lazySweep    bool
 }
 
 // validate rejects option combinations that would otherwise fail deep
 // inside a measurement run (or, worse, silently measure the wrong thing).
 func validate(o options) error {
 	switch o.fig {
-	case "2", "3", "4", "5", "all", "trace", "pause":
+	case "2", "3", "4", "5", "all", "trace", "pause", "sweep":
 	default:
-		return fmt.Errorf("unknown figure %q (want 2, 3, 4, 5, all, trace, or pause)", o.fig)
+		return fmt.Errorf("unknown figure %q (want 2, 3, 4, 5, all, trace, pause, or sweep)", o.fig)
 	}
 	if o.trials < 1 {
 		return fmt.Errorf("-trials %d: need at least one trial", o.trials)
@@ -67,6 +73,15 @@ func validate(o options) error {
 	if o.incremental > 0 && o.fig != "pause" {
 		return fmt.Errorf("-incremental %d with -fig %s: the paper figures are stop-the-world as published; incremental budgets apply only to -fig pause", o.incremental, o.fig)
 	}
+	if o.sweepWorkers < 0 {
+		return fmt.Errorf("-sweepworkers %d: cannot be negative", o.sweepWorkers)
+	}
+	if o.lazySweep && o.sweepWorkers >= 2 {
+		return fmt.Errorf("-lazysweep with -sweepworkers %d: deferred reclamation is strictly in address order; the two sweep modes cannot be combined", o.sweepWorkers)
+	}
+	if (o.lazySweep || o.sweepWorkers >= 2) && (o.fig == "sweep" || o.fig == "pause" || o.fig == "trace") {
+		return fmt.Errorf("-sweepworkers/-lazysweep select a mode for the paper figures; -fig %s configures its own collector modes", o.fig)
+	}
 	return nil
 }
 
@@ -77,28 +92,41 @@ func main() {
 	warmup := flag.Int("warmup", harness.DefaultRunConfig.Warmup, "warmup iterations per trial")
 	workers := flag.Int("workers", 1, "mark-phase trace workers (1 = serial, as published)")
 	incremental := flag.Int("incremental", 0, "bounded mark budget for -fig pause (0 = stop-the-world)")
+	sweepWorkers := flag.Int("sweepworkers", 1, "sweep-phase workers for the paper figures (1 = eager serial, as published)")
+	lazySweep := flag.Bool("lazysweep", false, "defer reclamation to allocation time for the paper figures")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	csvPath := flag.String("csv", "", "also write raw measurements to this CSV file")
 	flag.Parse()
 
 	opts := options{
-		fig:         *fig,
-		trials:      *trials,
-		measure:     *measure,
-		warmup:      *warmup,
-		workers:     *workers,
-		incremental: *incremental,
+		fig:          *fig,
+		trials:       *trials,
+		measure:      *measure,
+		warmup:       *warmup,
+		workers:      *workers,
+		incremental:  *incremental,
+		sweepWorkers: *sweepWorkers,
+		lazySweep:    *lazySweep,
 	}
 	if err := validate(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
 		os.Exit(2)
 	}
 
-	rc := harness.RunConfig{Warmup: *warmup, Measure: *measure, Trials: *trials, TraceWorkers: *workers}
+	rc := harness.RunConfig{
+		Warmup: *warmup, Measure: *measure, Trials: *trials,
+		TraceWorkers: *workers, SweepWorkers: *sweepWorkers, LazySweep: *lazySweep,
+	}
 	progress := func(name string) {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "measuring %s...\n", name)
 		}
+	}
+
+	if *fig == "sweep" {
+		rows := harness.RunSweepReport(harness.DefaultSweepReport, progress)
+		fmt.Println(harness.FormatSweepReport(harness.DefaultSweepReport, rows))
+		return
 	}
 
 	if *fig == "pause" {

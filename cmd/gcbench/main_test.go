@@ -9,11 +9,12 @@ import (
 
 func defaults() options {
 	return options{
-		fig:     "all",
-		trials:  harness.DefaultRunConfig.Trials,
-		measure: harness.DefaultRunConfig.Measure,
-		warmup:  harness.DefaultRunConfig.Warmup,
-		workers: 1,
+		fig:          "all",
+		trials:       harness.DefaultRunConfig.Trials,
+		measure:      harness.DefaultRunConfig.Measure,
+		warmup:       harness.DefaultRunConfig.Warmup,
+		workers:      1,
+		sweepWorkers: 1,
 	}
 }
 
@@ -25,6 +26,9 @@ func TestValidateAccepts(t *testing.T) {
 		func(o *options) { o.fig = "pause" },
 		func(o *options) { o.fig = "pause"; o.incremental = 5000 },
 		func(o *options) { o.warmup = 0 },
+		func(o *options) { o.fig = "sweep" },
+		func(o *options) { o.fig = "2"; o.sweepWorkers = 4 },
+		func(o *options) { o.fig = "3"; o.lazySweep = true },
 	}
 	for i, mut := range cases {
 		o := defaults()
@@ -53,6 +57,14 @@ func TestValidateRejects(t *testing.T) {
 		// silently measure a different collector than the paper's.
 		{func(o *options) { o.fig = "all"; o.incremental = 100 }, "stop-the-world as published"},
 		{func(o *options) { o.fig = "3"; o.incremental = 100 }, "stop-the-world as published"},
+		{func(o *options) { o.sweepWorkers = -1 }, "-sweepworkers"},
+		// Lazy sweeping reclaims strictly in address order; there is nothing
+		// for sweep workers to fan out over.
+		{func(o *options) { o.lazySweep = true; o.sweepWorkers = 4 }, "cannot be combined"},
+		// The side-by-side reports pick their own modes; a stray mode flag
+		// would otherwise be silently ignored.
+		{func(o *options) { o.fig = "sweep"; o.lazySweep = true }, "configures its own"},
+		{func(o *options) { o.fig = "pause"; o.sweepWorkers = 2 }, "configures its own"},
 	}
 	for i, c := range cases {
 		o := defaults()

@@ -37,9 +37,25 @@ func (rt *Runtime) HeaderFlags(r Ref) uint64 {
 }
 
 // FreeChunks returns the heap's free-list contents in the allocator's
-// deterministic bin order.
+// deterministic bin order. A pending lazy sweep is completed first so the
+// observation reflects the settled heap.
 func (rt *Runtime) FreeChunks() []vmheap.FreeChunk {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.heap.FreeChunks()
+}
+
+// SetDebugChecks toggles the heap's free-list integrity verification,
+// which then runs after every sweep pass (serial, parallel merge, lazy
+// completion) and panics on the first violation. Process-wide; the sweep
+// differential and fuzz tests enable it so every sweep self-checks.
+func SetDebugChecks(on bool) { vmheap.DebugChecks = on }
+
+// CheckFreeLists runs the free-list integrity checks once, returning all
+// violations found (nil for healthy lists) regardless of the SetDebugChecks
+// toggle.
+func (rt *Runtime) CheckFreeLists() []error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.heap.CheckFreeLists()
 }

@@ -55,6 +55,17 @@ const (
 	Generational
 )
 
+// String names the collector for reports.
+func (k CollectorKind) String() string {
+	switch k {
+	case MarkSweep:
+		return "marksweep"
+	case Generational:
+		return "generational"
+	}
+	return fmt.Sprintf("CollectorKind(%d)", uint8(k))
+}
+
 // Config configures a Runtime. The zero value is not usable: HeapWords is
 // required.
 type Config struct {
@@ -89,6 +100,25 @@ type Config struct {
 	// Requires Infrastructure mode; mutually exclusive with
 	// TraceWorkers >= 2 (the incremental worklist is single-threaded).
 	IncrementalBudget int
+	// SweepWorkers sets the sweep-phase worker count. 0 or 1 keeps the
+	// eager serial sweep (the paper's configuration; all published figures
+	// use it, and it is byte-identical to the pre-segmentation code);
+	// >= 2 sweeps the heap's parse ranges with that many goroutines,
+	// merged to the exact heap state the serial sweep produces.
+	SweepWorkers int
+	// LazySweep defers reclamation: a collection ends after the mark phase
+	// plus a header-only census, and each heap segment is actually swept —
+	// assertion-engine bookkeeping included — the first time the allocator
+	// needs a chunk from it, so the post-mark pause drops to near zero.
+	// Statistics, violations, and (once the deferred sweep completes) the
+	// heap itself are identical to the eager mode. Mutually exclusive with
+	// SweepWorkers >= 2 (deferred reclamation is strictly in address
+	// order; there is nothing to fan out).
+	LazySweep bool
+	// RecordPauses appends every stop-the-world pause to gc.Stats.PauseLog
+	// so reports can compute per-pause percentiles (gcbench -fig sweep).
+	// Off by default: the published figures never allocate the log.
+	RecordPauses bool
 }
 
 // Runtime is a managed heap plus its collector and assertion engine.
@@ -124,6 +154,12 @@ func New(cfg Config) *Runtime {
 		if cfg.TraceWorkers >= 2 {
 			panic("core: IncrementalBudget excludes TraceWorkers >= 2 (the incremental worklist is single-threaded)")
 		}
+	}
+	if cfg.SweepWorkers < 0 {
+		panic("core: SweepWorkers must not be negative")
+	}
+	if cfg.LazySweep && cfg.SweepWorkers >= 2 {
+		panic("core: LazySweep excludes SweepWorkers >= 2 (deferred reclamation is strictly in address order)")
 	}
 	rt := &Runtime{
 		heap:     vmheap.New(cfg.HeapWords),
@@ -164,6 +200,8 @@ func New(cfg Config) *Runtime {
 	default:
 		panic(fmt.Sprintf("core: unknown collector kind %d", cfg.Collector))
 	}
+	rt.heap.SetSweepMode(cfg.SweepWorkers, cfg.LazySweep)
+	rt.collector.Stats().RecordPauses = cfg.RecordPauses
 
 	rt.main = &Thread{rt: rt, th: rt.threads.New("main")}
 	return rt
@@ -283,6 +321,24 @@ func (rt *Runtime) GCActive() bool {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.collector.IncrementalActive()
+}
+
+// CompleteSweep drives any pending lazy sweep to completion (a no-op under
+// the eager modes, or when nothing is pending). The deferred bookkeeping —
+// hook calls, free-list installs — runs exactly as the allocator would have
+// triggered it, just all at once.
+func (rt *Runtime) CompleteSweep() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.heap.CompleteSweep()
+}
+
+// SweepPending reports whether a lazy sweep has unswept segments
+// outstanding.
+func (rt *Runtime) SweepPending() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.heap.SweepPending()
 }
 
 // Violations returns the assertion violations recorded so far.

@@ -22,6 +22,9 @@ type Snapshot struct {
 	GC   gc.Stats
 	// Asserts is zero in Base mode.
 	Asserts assertions.Stats
+	// Sweep counts lazy/parallel sweep activity; all zero under the
+	// default eager serial sweep.
+	Sweep vmheap.SweepModeStats
 }
 
 // Stats returns a consistent snapshot of heap, collector and assertion
@@ -38,7 +41,8 @@ func (rt *Runtime) Stats() Snapshot {
 			TotalAllocs:   rt.heap.TotalAllocs(),
 			TotalWords:    rt.heap.TotalAllocWords(),
 		},
-		GC: *rt.collector.Stats(),
+		GC:    *rt.collector.Stats(),
+		Sweep: rt.heap.SweepModeStats(),
 	}
 	if rt.engine != nil {
 		s.Asserts = rt.engine.Stats()

@@ -89,6 +89,16 @@ type Stats struct {
 	// largest single interval rather than the full cycle.
 	PauseTime time.Duration
 	MaxPause  time.Duration
+
+	// RecordPauses, when set before the first collection (core.Config
+	// plumbs it through), appends every pause to PauseLog and the sweep
+	// phase of every collection — the post-mark pause portion, which the
+	// lazy and parallel sweep modes exist to shrink — to SweepPauseLog, so
+	// reports can compute per-pause percentiles (gcbench -fig sweep). Off
+	// by default: the published figures never allocate the logs.
+	RecordPauses  bool
+	PauseLog      []time.Duration
+	SweepPauseLog []time.Duration
 }
 
 // addPause records one stop-the-world interval.
@@ -97,6 +107,35 @@ func (s *Stats) addPause(d time.Duration) {
 	if d > s.MaxPause {
 		s.MaxPause = d
 	}
+	if s.RecordPauses {
+		s.PauseLog = append(s.PauseLog, d)
+	}
+}
+
+// timedPhase measures f when pause recording is on (zero otherwise).
+func (s *Stats) timedPhase(f func()) time.Duration {
+	if !s.RecordPauses {
+		f()
+		return 0
+	}
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}
+
+// timedSweep runs one sweep phase, logging its duration as this collection's
+// post-mark sweep pause when pause recording is on. extra is reclamation
+// already performed inside this pause and charged to it (a lazy sweep left
+// pending by the previous cycle completes at pause start), so the log never
+// flatters the lazy mode.
+func (s *Stats) timedSweep(extra time.Duration, f func() vmheap.SweepStats) vmheap.SweepStats {
+	if !s.RecordPauses {
+		return f()
+	}
+	t0 := time.Now()
+	sw := f()
+	s.SweepPauseLog = append(s.SweepPauseLog, extra+time.Since(t0))
+	return sw
 }
 
 // addIncrementalWork attributes one incremental STW interval to the cycle
@@ -313,6 +352,10 @@ func (c *MarkSweep) CollectFull() error {
 		return c.incParts().finish()
 	}
 	start := time.Now()
+	// A lazy sweep still pending from the previous cycle must finish before
+	// this trace: its unswept ranges carry stale mark bits and uninstalled
+	// free runs. The leftover reclamation is charged to this pause.
+	leftover := c.stats.timedPhase(c.heap.CompleteSweep)
 	c.tracer.Reset()
 
 	var sweepClear uint64
@@ -327,10 +370,22 @@ func (c *MarkSweep) CollectFull() error {
 		onFree = c.engine.FreeHook()
 	}
 
-	sw := c.heap.Sweep(vmheap.SweepOptions{ClearFlags: sweepClear, OnFree: onFree})
+	ts := c.tracer.Stats()
+	sweepOpts := vmheap.SweepOptions{ClearFlags: sweepClear, OnFree: onFree}
+	if c.TraceWorkers <= 1 {
+		// A serial stop-the-world trace counted every mark, so a lazy sweep
+		// can skip its census walk entirely (vmheap.SweepOptions.MarkedKnown).
+		// The parallel trace's counts are exact too, but the serial gate keeps
+		// the walkless path's correctness argument local to one trace loop.
+		sweepOpts.MarkedKnown = true
+		sweepOpts.MarkedObjects = ts.Visited
+		sweepOpts.MarkedWords = ts.VisitedWords
+	}
+	sw := c.stats.timedSweep(leftover, func() vmheap.SweepStats {
+		return c.heap.Sweep(sweepOpts)
+	})
 
 	elapsed := time.Since(start)
-	ts := c.tracer.Stats()
 	c.stats.Collections++
 	c.stats.FullCollections++
 	c.stats.GCTime += elapsed

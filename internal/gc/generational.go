@@ -84,12 +84,20 @@ func (c *Generational) Stats() *Stats { return &c.stats }
 // WriteBarrier records a mature object into the remembered set the first
 // time a reference is stored into it. Object-granularity remembering is
 // conservative (the object may point only at mature children) but sound.
+//
+// A survivor of a pending lazy sweep does not carry FlagMature yet — its
+// promotion happens when its range is swept — but the minor trace will
+// already treat it as a boundary, so a store into it must be remembered
+// now; PendingPromotion covers that window.
 func (c *Generational) WriteBarrier(parent vmheap.Ref) {
 	if parent == vmheap.Nil {
 		return
 	}
 	h := c.heap.Header(parent)
-	if h&vmheap.FlagMature == 0 || h&vmheap.FlagRemember != 0 {
+	if h&vmheap.FlagRemember != 0 {
+		return
+	}
+	if h&vmheap.FlagMature == 0 && !c.heap.PendingPromotion(parent) {
 		return
 	}
 	c.heap.SetFlags(parent, vmheap.FlagRemember)
@@ -186,6 +194,8 @@ func (c *Generational) Collect() error {
 // assertion checks run.
 func (c *Generational) collectMinor() error {
 	start := time.Now()
+	// Finish any lazily pending sweep before tracing (stale mark bits).
+	leftover := c.stats.timedPhase(c.heap.CompleteSweep)
 	c.tracer.Reset()
 	c.tracer.TraceMinor(c.roots, c.remembered)
 
@@ -200,10 +210,12 @@ func (c *Generational) collectMinor() error {
 	}
 
 	c.dropRememberedSet()
-	sw := c.heap.Sweep(vmheap.SweepOptions{
-		Immature: true,
-		SetFlags: vmheap.FlagMature, // promote survivors in place
-		OnFree:   onFree,
+	sw := c.stats.timedSweep(leftover, func() vmheap.SweepStats {
+		return c.heap.Sweep(vmheap.SweepOptions{
+			Immature: true,
+			SetFlags: vmheap.FlagMature, // promote survivors in place
+			OnFree:   onFree,
+		})
 	})
 
 	elapsed := time.Since(start)
@@ -229,6 +241,8 @@ func (c *Generational) CollectFull() error {
 		return c.incParts().finish()
 	}
 	start := time.Now()
+	// Finish any lazily pending sweep before tracing (stale mark bits).
+	leftover := c.stats.timedPhase(c.heap.CompleteSweep)
 	c.tracer.Reset()
 
 	sweepSet := vmheap.FlagMature
@@ -245,10 +259,23 @@ func (c *Generational) CollectFull() error {
 	}
 
 	c.dropRememberedSet()
-	sw := c.heap.Sweep(vmheap.SweepOptions{ClearFlags: sweepClear, SetFlags: sweepSet, OnFree: onFree})
+	ts := c.tracer.Stats()
+	sweepOpts := vmheap.SweepOptions{ClearFlags: sweepClear, SetFlags: sweepSet, OnFree: onFree}
+	if c.TraceWorkers <= 1 {
+		// Same walkless-census gate as MarkSweep.CollectFull: a serial
+		// full-heap trace counted every mark exactly. Minor collections keep
+		// the census — a minor trace never visits mature survivors, so its
+		// totals do not describe the post-sweep live set (and the escalation
+		// policy in Collect needs exact FreedWords regardless).
+		sweepOpts.MarkedKnown = true
+		sweepOpts.MarkedObjects = ts.Visited
+		sweepOpts.MarkedWords = ts.VisitedWords
+	}
+	sw := c.stats.timedSweep(leftover, func() vmheap.SweepStats {
+		return c.heap.Sweep(sweepOpts)
+	})
 
 	elapsed := time.Since(start)
-	ts := c.tracer.Stats()
 	c.stats.Collections++
 	c.stats.FullCollections++
 	c.stats.GCTime += elapsed

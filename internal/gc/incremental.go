@@ -65,6 +65,9 @@ func (p incShared) start() {
 		return
 	}
 	begin := time.Now()
+	// A lazy sweep pending from the previous cycle must finish before the
+	// snapshot is taken: its unswept ranges carry stale mark bits.
+	p.heap.CompleteSweep()
 	t := p.tracer
 	t.Reset()
 	t.BeginIncremental()
@@ -125,7 +128,9 @@ func (p incShared) finish() error {
 		sweepClear = p.engine.SweepFlags()
 		onFree = p.engine.FreeHook()
 	}
-	sw := p.finishSweep(sweepClear|vmheap.FlagScanned, onFree)
+	sw := p.stats.timedSweep(0, func() vmheap.SweepStats {
+		return p.finishSweep(sweepClear|vmheap.FlagScanned, onFree)
+	})
 	t.EndIncremental()
 	p.st.active = false
 

@@ -21,6 +21,11 @@ type RunConfig struct {
 	// serial tracers the published figures use; >= 2 runs the parallel
 	// mark phase.
 	TraceWorkers int
+	// SweepWorkers and LazySweep are passed through to core.Config and
+	// select the sweep mode; the defaults keep the eager serial sweep the
+	// published figures use.
+	SweepWorkers int
+	LazySweep    bool
 }
 
 // DefaultRunConfig mirrors the paper's shape at a scale that finishes in
@@ -76,6 +81,8 @@ func runTrial(s Subject, rc RunConfig) trial {
 		Mode:         s.Mode,
 		Collector:    s.Collector,
 		TraceWorkers: rc.TraceWorkers,
+		SweepWorkers: rc.SweepWorkers,
+		LazySweep:    rc.LazySweep,
 	})
 	iterate := s.Build(rt)
 	for i := 0; i < rc.Warmup; i++ {

@@ -28,7 +28,7 @@ func (t *Tracer) TraceMinor(src roots.Source, remembered []vmheap.Ref) {
 			return
 		}
 		h.SetFlags(c, vmheap.FlagMark)
-		t.stats.Visited++
+		t.countVisit(c)
 		stack = append(stack, uint32(c))
 	}
 

@@ -72,7 +72,7 @@ func (t *Tracer) RunOwnershipPhase(p *OwnershipPhase) {
 			continue
 		}
 		t.heap.SetFlags(c, vmheap.FlagMark)
-		t.stats.Visited++
+		t.countVisit(c)
 		t.countInstance(c)
 		queue = append(queue, c)
 	}
@@ -184,7 +184,7 @@ func (t *Tracer) checkOwnerScan(c vmheap.Ref, cur int, curOwner vmheap.Ref, p *O
 		owner, ok := p.OwnerOf(c)
 		if ok && owner == cur {
 			h.SetFlags(c, vmheap.FlagMark|vmheap.FlagOwned)
-			t.stats.Visited++
+			t.countVisit(c)
 			t.countInstance(c)
 			*queue = append(*queue, c)
 		} else {
@@ -207,13 +207,13 @@ func (t *Tracer) checkOwnerScan(c vmheap.Ref, cur int, curOwner vmheap.Ref, p *O
 		if t.incScan {
 			h.SetFlags(c, vmheap.FlagScanned)
 		}
-		t.stats.Visited++
+		t.countVisit(c)
 		t.countInstance(c)
 		return false
 	}
 
 	h.SetFlags(c, vmheap.FlagMark)
-	t.stats.Visited++
+	t.countVisit(c)
 	t.countInstance(c)
 	t.stack = append(t.stack, uint32(c))
 	return false
@@ -311,7 +311,7 @@ func (t *Tracer) checkOwneeSubtree(c vmheap.Ref, p *OwnershipPhase) bool {
 	}
 
 	h.SetFlags(c, vmheap.FlagMark)
-	t.stats.Visited++
+	t.countVisit(c)
 	t.countInstance(c)
 	t.stack = append(t.stack, uint32(c))
 	return false

@@ -121,8 +121,9 @@ type pworker struct {
 	shared  pdeque
 	scratch []uint32
 
-	visited     uint64
-	refsScanned uint64
+	visited      uint64
+	visitedWords uint64
+	refsScanned  uint64
 	counts      map[uint32]int64 // tracked-class instance shard
 
 	stats WorkerStats
@@ -304,6 +305,7 @@ func (run *parallelRun) encounter(w *pworker, c vmheap.Ref) {
 		return
 	}
 	w.visited++
+	w.visitedWords += uint64(vmheap.DecodeSizeWords(hd))
 	w.push(c)
 }
 
@@ -313,6 +315,7 @@ func (run *parallelRun) encounter(w *pworker, c vmheap.Ref) {
 func (run *parallelRun) mergeCounters(t *Tracer) {
 	for _, w := range run.workers {
 		t.stats.Visited += w.visited
+		t.stats.VisitedWords += w.visitedWords
 		t.stats.RefsScanned += w.refsScanned
 		for id, n := range w.counts {
 			t.reg.CountInstances(id, n)
@@ -354,8 +357,9 @@ func (t *Tracer) TraceBaseParallel(src roots.Source, workers int) {
 		}
 		w := run.workers[i%workers]
 		i++
-		if won, _ := t.heap.TryClaim(r, vmheap.FlagMark); won {
+		if won, hd := t.heap.TryClaim(r, vmheap.FlagMark); won {
 			w.visited++
+			w.visitedWords += uint64(vmheap.DecodeSizeWords(hd))
 			w.push(r)
 		}
 	})

@@ -29,6 +29,7 @@ import (
 // Stats counts the work done by one marking pass (both phases).
 type Stats struct {
 	Visited       uint64 // objects marked (first visits)
+	VisitedWords  uint64 // total size in words of the marked objects
 	RefsScanned   uint64 // reference slots examined
 	DeadHits      uint64 // encounters of dead-asserted objects
 	SharedHits    uint64 // re-encounters of unshared-asserted objects
@@ -96,6 +97,15 @@ func New(h *vmheap.Heap, reg *classes.Registry) *Tracer {
 // traces.
 func (t *Tracer) SetChecks(c Checks) { t.checks = c }
 
+// countVisit records one first-visit mark. The size accumulation gives the
+// collector exact live totals at mark termination (VisitedWords), which lets
+// a lazy sweep skip its stats census; the header was touched by the mark
+// itself, so the extra read is cache-hot.
+func (t *Tracer) countVisit(c vmheap.Ref) {
+	t.stats.Visited++
+	t.stats.VisitedWords += uint64(t.heap.SizeWords(c))
+}
+
 // Stats returns the counters accumulated since the last Reset.
 func (t *Tracer) Stats() Stats { return t.stats }
 
@@ -134,7 +144,7 @@ func (t *Tracer) TraceBase(src roots.Source) {
 		r := *slot
 		if h.Flags(r, vmheap.FlagMark) == 0 {
 			h.SetFlags(r, vmheap.FlagMark)
-			t.stats.Visited++
+			t.countVisit(r)
 			stack = append(stack, uint32(r))
 		}
 	})
@@ -150,7 +160,7 @@ func (t *Tracer) TraceBase(src roots.Source) {
 				t.stats.RefsScanned++
 				if c != vmheap.Nil && h.Flags(c, vmheap.FlagMark) == 0 {
 					h.SetFlags(c, vmheap.FlagMark)
-					t.stats.Visited++
+					t.countVisit(c)
 					stack = append(stack, uint32(c))
 				}
 			}
@@ -161,7 +171,7 @@ func (t *Tracer) TraceBase(src roots.Source) {
 				t.stats.RefsScanned++
 				if c != vmheap.Nil && h.Flags(c, vmheap.FlagMark) == 0 {
 					h.SetFlags(c, vmheap.FlagMark)
-					t.stats.Visited++
+					t.countVisit(c)
 					stack = append(stack, uint32(c))
 				}
 			}
@@ -293,7 +303,7 @@ func (t *Tracer) check(c vmheap.Ref) (forceNull bool) {
 
 	// First visit.
 	h.SetFlags(c, vmheap.FlagMark)
-	t.stats.Visited++
+	t.countVisit(c)
 
 	// Instance counting for assert-instances.
 	class := h.ClassID(c)

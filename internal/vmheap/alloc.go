@@ -70,6 +70,13 @@ func (h *Heap) Alloc(kind Kind, classID uint32, fieldWords uint32) (Ref, error) 
 	}
 
 	addr := h.carve(size)
+	// Lazy mode: the free lists only describe already-swept parse ranges.
+	// Sweep the next range on demand (ascending, so coalescing matches the
+	// eager sweep) and retry until the request fits; ErrHeapExhausted is
+	// only reported once every range has been reclaimed.
+	for addr == Nil && h.sweepSegment(true) {
+		addr = h.carve(size)
+	}
 	if addr == Nil {
 		return Nil, ErrHeapExhausted
 	}

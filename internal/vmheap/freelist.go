@@ -7,21 +7,49 @@ type FreeChunk struct {
 	Words uint32
 }
 
-// FreeChunks returns every free-list chunk in deterministic order: the
-// exact bins in ascending size order, then the large list, each in list
-// order. Two heaps that went through identical allocation and collection
-// histories return identical slices, which the differential tests use to
-// compare serial and parallel collections.
-func (h *Heap) FreeChunks() []FreeChunk {
-	var out []FreeChunk
-	walk := func(head Ref) {
+// EachFreeChunk visits every free-list chunk in the allocator's
+// deterministic order — the exact bins in ascending size order, then the
+// large list, each in list order — without materializing a slice. It stops
+// early if fn returns false and reports whether the walk ran to completion.
+// While a lazy sweep is pending the walk covers only chunks from
+// already-swept ranges; callers wanting the settled state go through
+// FreeChunks, which completes the sweep first.
+func (h *Heap) EachFreeChunk(fn func(FreeChunk) bool) bool {
+	walk := func(head Ref) bool {
 		for r := head; r != Nil; r = Ref(h.words[uint32(r)+freeNextSlot]) {
-			out = append(out, FreeChunk{Ref: r, Words: headerSize(h.words[r])})
+			if !fn(FreeChunk{Ref: r, Words: headerSize(h.words[r])}) {
+				return false
+			}
 		}
+		return true
 	}
 	for _, head := range h.bins {
-		walk(head)
+		if !walk(head) {
+			return false
+		}
 	}
-	walk(h.largeBin)
+	return walk(h.largeBin)
+}
+
+// FreeChunkCount returns the number of chunks on the free lists without
+// allocating.
+func (h *Heap) FreeChunkCount() int {
+	n := 0
+	h.EachFreeChunk(func(FreeChunk) bool { n++; return true })
+	return n
+}
+
+// FreeChunks returns every free-list chunk in the EachFreeChunk order. Two
+// heaps that went through identical allocation and collection histories
+// return identical slices, which the differential tests use to compare
+// serial, parallel, and (completed) lazy collections. A pending lazy sweep
+// is completed first so the observation is exact.
+func (h *Heap) FreeChunks() []FreeChunk {
+	h.ensureSwept()
+	out := make([]FreeChunk, 0, h.FreeChunkCount())
+	h.EachFreeChunk(func(c FreeChunk) bool {
+		out = append(out, c)
+		return true
+	})
 	return out
 }

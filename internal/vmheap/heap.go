@@ -35,6 +35,20 @@ type Heap struct {
 	liveObjs   uint64
 	allocCount uint64 // total successful allocations over the heap lifetime
 	allocWords uint64 // total words ever allocated
+
+	// Sweep segmentation (segment.go). segBounds is the parse-range table
+	// recorded by the last sweep: segBounds[i] is the first chunk header at
+	// or above the nominal base i*segWords, and the final entry is the
+	// arena end. segScratch double-buffers the rebuild. sweepWorkers and
+	// lazySweep select the mode (SetSweepMode); lazy holds the deferred
+	// state of a pending lazy sweep.
+	segWords     uint32
+	segBounds    []Ref
+	segScratch   []Ref
+	sweepWorkers int
+	lazySweep    bool
+	lazy         lazyState
+	sweepStats   SweepModeStats
 }
 
 // numExactBins is the number of exact-size free-list bins. Bin i serves
@@ -53,6 +67,7 @@ func New(capWords int) *Heap {
 	h.resetFreeLists()
 	h.installChunk(heapBase, cap-heapBase)
 	h.freeWords = uint64(cap - heapBase)
+	h.initSegments()
 	return h
 }
 
@@ -129,9 +144,18 @@ func (h *Heap) SetArrayWord(r Ref, i uint32, v uint64) {
 
 // IsObject reports whether r refers to an allocated object (as opposed to
 // null or a free chunk). It assumes r is either Nil or a Ref previously
-// returned by Alloc whose object may since have been swept.
+// returned by Alloc whose object may since have been swept. While a lazy
+// sweep is pending, objects in not-yet-swept ranges are judged by the
+// census verdict (the mark bit) so the answer matches what the completed
+// sweep will leave behind.
 func (h *Heap) IsObject(r Ref) bool {
-	return r != Nil && h.words[r]&FlagFree == 0
+	if r == Nil || h.words[r]&FlagFree != 0 {
+		return false
+	}
+	if h.lazy.pending && r >= h.segBounds[h.lazy.next] {
+		return h.pendingLive(h.words[r])
+	}
+	return true
 }
 
 // Bounds check helper used by debugging tools.
@@ -140,8 +164,11 @@ func (h *Heap) valid(r Ref) bool {
 }
 
 // Iterate walks every allocated object in address order and calls fn with
-// its Ref and header. Free chunks are skipped. fn must not allocate.
+// its Ref and header. Free chunks are skipped. fn must not allocate. A
+// pending lazy sweep is completed first so the walk sees only objects that
+// survive it.
 func (h *Heap) Iterate(fn func(r Ref, header uint64)) {
+	h.ensureSwept()
 	addr := uint32(heapBase)
 	end := uint32(len(h.words))
 	for addr < end {

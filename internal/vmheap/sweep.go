@@ -32,17 +32,57 @@ type SweepOptions struct {
 	// objects are treated as live regardless of their mark bit. Used by
 	// the generational collector's minor collections.
 	Immature bool
+	// MarkedKnown declares that MarkedObjects/MarkedWords hold the exact
+	// count and total size of the objects the trace marked. A lazy
+	// full-heap sweep then skips its stats census entirely — every census
+	// product derives from the totals, and the previous sweep's parse-range
+	// table is still valid for the deferred reclamation (allocation only
+	// subdivides chunks between sweeps) — making the post-mark pause
+	// O(1). Ignored by the eager and parallel sweeps, which compute the
+	// same statistics from their own heap walk, and by Immature sweeps
+	// (a minor trace does not visit mature survivors, so the totals do
+	// not describe the post-sweep live set).
+	MarkedKnown   bool
+	MarkedObjects uint64
+	MarkedWords   uint64
 }
 
-// Sweep performs the sweep phase of a mark-sweep collection: it walks the
-// heap linearly, reclaims every unmarked object, coalesces adjacent free
-// chunks, rebuilds the free lists from scratch, and clears the mark bit on
-// survivors. It returns statistics for the pass.
+// Sweep performs the sweep phase of a mark-sweep collection. Under the
+// default mode it walks the heap linearly, reclaims every unmarked object,
+// coalesces adjacent free chunks, rebuilds the free lists from scratch, and
+// clears the mark bit on survivors. SetSweepMode selects two alternatives:
+// a parallel sweep over the parse ranges recorded by the previous pass, and
+// a lazy sweep that runs only a census here and defers reclamation to
+// on-demand per-range sweeps (segment.go). All three modes return identical
+// statistics and — once a lazy sweep completes — leave identical heaps.
 //
 // Sweep assumes a trace has just run: surviving objects have FlagMark set.
+// A pending lazy sweep must be completed (CompleteSweep) before the trace,
+// not merely before Sweep — tracing over stale mark bits is heap
+// corruption — so Sweep panics if one is still outstanding.
 func (h *Heap) Sweep(opts SweepOptions) SweepStats {
+	if h.lazy.pending {
+		panic("vmheap: Sweep with a lazy sweep still pending (CompleteSweep must run before the trace)")
+	}
+	switch {
+	case h.lazySweep:
+		if opts.MarkedKnown && !opts.Immature {
+			return h.sweepArm(opts)
+		}
+		return h.sweepCensus(opts)
+	case h.sweepWorkers >= 2:
+		return h.sweepParallel(opts)
+	default:
+		return h.sweepSerial(opts)
+	}
+}
+
+// sweepSerial is the eager linear sweep (the published configuration, and
+// the body every other mode is defined against).
+func (h *Heap) sweepSerial(opts SweepOptions) SweepStats {
 	var st SweepStats
 	h.resetFreeLists()
+	rec := h.beginBounds()
 
 	addr := uint32(heapBase)
 	end := uint32(len(h.words))
@@ -53,6 +93,7 @@ func (h *Heap) Sweep(opts SweepOptions) SweepStats {
 		if runLen == 0 {
 			return
 		}
+		rec.note(runStart)
 		h.installChunk(Ref(runStart), runLen)
 		st.FreeChunks++
 		runStart, runLen = 0, 0
@@ -81,6 +122,7 @@ func (h *Heap) Sweep(opts SweepOptions) SweepStats {
 			st.LiveObjects++
 			st.LiveWords += uint64(size)
 			flush()
+			rec.note(addr)
 
 		default:
 			// Garbage: reclaim.
@@ -97,10 +139,12 @@ func (h *Heap) Sweep(opts SweepOptions) SweepStats {
 		addr += size
 	}
 	flush()
+	h.finishBounds(&rec)
 
 	h.liveObjs = st.LiveObjects
 	h.liveWords = st.LiveWords
 	h.freeWords = h.CapacityWords() - st.LiveWords
+	h.debugCheck()
 	return st
 }
 

@@ -34,8 +34,11 @@ type RefFieldsOf interface {
 // reference check (for heaps whose class registry is unavailable).
 //
 // Verify is the runtime's equivalent of a JVM's heap verifier: expensive
-// (two full passes), intended for tests and debugging tools.
+// (two full passes), intended for tests and debugging tools. A pending lazy
+// sweep is completed first: the invariants above describe a settled heap
+// (a half-swept one legitimately carries stale marks and uncoalesced runs).
 func (h *Heap) Verify(layout RefFieldsOf) []error {
+	h.ensureSwept()
 	var errs []error
 	fail := func(addr Ref, format string, args ...any) {
 		errs = append(errs, &VerifyError{Addr: addr, Msg: fmt.Sprintf(format, args...)})
@@ -93,20 +96,14 @@ func (h *Heap) Verify(layout RefFieldsOf) []error {
 
 	// Free lists must cover exactly the free chunks found by the walk.
 	var freeList uint64
-	walkList := func(head Ref) {
-		for r := head; r != Nil; r = Ref(h.words[uint32(r)+freeNextSlot]) {
-			hd := h.words[r]
-			if hd&FlagFree == 0 {
-				fail(r, "free list entry without the free flag")
-				return
-			}
-			freeList += uint64(headerSize(hd))
+	h.EachFreeChunk(func(c FreeChunk) bool {
+		if h.words[c.Ref]&FlagFree == 0 {
+			fail(c.Ref, "free list entry without the free flag")
+			return false
 		}
-	}
-	for _, head := range h.bins {
-		walkList(head)
-	}
-	walkList(h.largeBin)
+		freeList += uint64(c.Words)
+		return true
+	})
 	if freeList != freeWalk {
 		fail(0, "free lists hold %d words, walk found %d", freeList, freeWalk)
 	}
