@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench sweepbench difftest fuzz figures casestudies verify
+.PHONY: all build test race bench sweepbench allocbench difftest fuzz figures casestudies verify
 
 all: build test
 
@@ -20,23 +20,31 @@ bench:
 # Sweep-mode microbenchmarks: eager vs parallel vs lazy sweep, and the
 # allocator with and without demand sweeping (see results/lazy_sweep.txt).
 sweepbench:
-	go test -run '^$$' -bench 'BenchmarkSweep|BenchmarkAlloc' -benchmem ./internal/vmheap
+	go test -run '^$$' -bench 'BenchmarkSweep|BenchmarkAllocEager|BenchmarkAllocLazy' -benchmem ./internal/vmheap
+
+# Allocation fast-path microbenchmarks: the direct free-list allocator vs
+# bump-pointer buffers across object sizes and buffer sizes, plus the
+# payload-zeroing idiom comparison (see results/alloc_fastpath.txt).
+allocbench:
+	go test -run '^$$' -bench 'BenchmarkAllocDirect|BenchmarkAllocBuffered|BenchmarkZeroing' -benchmem ./internal/vmheap
 
 # Differential tests: serial vs parallel collections on identical scripts,
-# stop-the-world vs incremental cycles (plus the shadow-model oracle), and
-# eager vs parallel vs lazy sweep modes under both collectors.
+# stop-the-world vs incremental cycles (plus the shadow-model oracle), eager
+# vs parallel vs lazy sweep modes under both collectors, and direct vs
+# buffered allocation across every collector mode.
 difftest:
 	go test -race -run 'TestDifferential|TestIncrementalDifferential|TestOracle' -v ./internal/trace
-	go test -race -run 'TestSweepModesDifferential|TestLazySweep' -v ./internal/core
+	go test -race -run 'TestSweepModesDifferential|TestLazySweep|TestAllocBuffer' -v ./internal/core
 
 # Short coverage-guided fuzz runs: the serial/parallel equivalence, the
-# stop-the-world/incremental equivalence, and the eager/parallel/lazy sweep
-# equivalence (go test takes one -fuzz pattern per invocation, so the
-# targets run sequentially).
+# stop-the-world/incremental equivalence, the eager/parallel/lazy sweep
+# equivalence, and the direct/buffered allocation equivalence (go test takes
+# one -fuzz pattern per invocation, so the targets run sequentially).
 fuzz:
 	go test -run '^$$' -fuzz FuzzParallelTrace -fuzztime 30s ./internal/core
 	go test -run '^$$' -fuzz FuzzIncrementalBarrier -fuzztime 30s ./internal/core
 	go test -run '^$$' -fuzz FuzzLazySweep -fuzztime 30s ./internal/core
+	go test -run '^$$' -fuzz FuzzAllocBuffer -fuzztime 30s ./internal/core
 
 # Regenerate the paper's figures (text tables on stdout, CSV alongside).
 figures:

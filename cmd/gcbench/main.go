@@ -8,6 +8,7 @@
 //	gcbench -fig trace parallel-tracer scaling report (not a paper figure)
 //	gcbench -fig pause incremental pause-distribution report (not a paper figure)
 //	gcbench -fig sweep sweep-mode pause comparison (not a paper figure)
+//	gcbench -fig alloc allocation-throughput comparison (not a paper figure)
 //
 // -workers N runs the paper figures with the parallel tracer (N marking
 // goroutines); the published numbers use the default serial tracer.
@@ -16,6 +17,10 @@
 // -sweepworkers N and -lazysweep select the sweep mode for the paper
 // figures (the published numbers use the default eager serial sweep); -fig
 // sweep instead measures every mode side by side and ignores both flags.
+// -allocbuf N runs the paper figures with per-thread bump allocation
+// buffers of N words (the published numbers use the default direct
+// free-list allocation); -fig alloc instead measures the direct allocator
+// against several buffer sizes side by side and ignores the flag.
 //
 // Methodology follows the paper: fixed heaps at roughly twice each
 // benchmark's minimum live size, warmup iterations discarded, repeated
@@ -29,6 +34,7 @@ import (
 	"os"
 
 	"repro/internal/harness"
+	"repro/internal/vmheap"
 )
 
 // options collects the flag values so validation is testable apart from
@@ -42,15 +48,16 @@ type options struct {
 	incremental  int
 	sweepWorkers int
 	lazySweep    bool
+	allocBuf     int
 }
 
 // validate rejects option combinations that would otherwise fail deep
 // inside a measurement run (or, worse, silently measure the wrong thing).
 func validate(o options) error {
 	switch o.fig {
-	case "2", "3", "4", "5", "all", "trace", "pause", "sweep":
+	case "2", "3", "4", "5", "all", "trace", "pause", "sweep", "alloc":
 	default:
-		return fmt.Errorf("unknown figure %q (want 2, 3, 4, 5, all, trace, pause, or sweep)", o.fig)
+		return fmt.Errorf("unknown figure %q (want 2, 3, 4, 5, all, trace, pause, sweep, or alloc)", o.fig)
 	}
 	if o.trials < 1 {
 		return fmt.Errorf("-trials %d: need at least one trial", o.trials)
@@ -79,8 +86,17 @@ func validate(o options) error {
 	if o.lazySweep && o.sweepWorkers >= 2 {
 		return fmt.Errorf("-lazysweep with -sweepworkers %d: deferred reclamation is strictly in address order; the two sweep modes cannot be combined", o.sweepWorkers)
 	}
-	if (o.lazySweep || o.sweepWorkers >= 2) && (o.fig == "sweep" || o.fig == "pause" || o.fig == "trace") {
+	if (o.lazySweep || o.sweepWorkers >= 2) && (o.fig == "sweep" || o.fig == "pause" || o.fig == "trace" || o.fig == "alloc") {
 		return fmt.Errorf("-sweepworkers/-lazysweep select a mode for the paper figures; -fig %s configures its own collector modes", o.fig)
+	}
+	if o.allocBuf < 0 {
+		return fmt.Errorf("-allocbuf %d: cannot be negative", o.allocBuf)
+	}
+	if o.allocBuf > 0 && o.allocBuf < vmheap.MinBufferWords {
+		return fmt.Errorf("-allocbuf %d: below the minimum buffer of %d words (use 0 for direct allocation)", o.allocBuf, vmheap.MinBufferWords)
+	}
+	if o.allocBuf > 0 && (o.fig == "sweep" || o.fig == "pause" || o.fig == "trace" || o.fig == "alloc") {
+		return fmt.Errorf("-allocbuf selects a mode for the paper figures; -fig %s configures its own allocation modes", o.fig)
 	}
 	return nil
 }
@@ -94,6 +110,7 @@ func main() {
 	incremental := flag.Int("incremental", 0, "bounded mark budget for -fig pause (0 = stop-the-world)")
 	sweepWorkers := flag.Int("sweepworkers", 1, "sweep-phase workers for the paper figures (1 = eager serial, as published)")
 	lazySweep := flag.Bool("lazysweep", false, "defer reclamation to allocation time for the paper figures")
+	allocBuf := flag.Int("allocbuf", 0, "per-thread allocation buffer words for the paper figures (0 = direct free-list allocation, as published)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	csvPath := flag.String("csv", "", "also write raw measurements to this CSV file")
 	flag.Parse()
@@ -107,6 +124,7 @@ func main() {
 		incremental:  *incremental,
 		sweepWorkers: *sweepWorkers,
 		lazySweep:    *lazySweep,
+		allocBuf:     *allocBuf,
 	}
 	if err := validate(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
@@ -116,11 +134,18 @@ func main() {
 	rc := harness.RunConfig{
 		Warmup: *warmup, Measure: *measure, Trials: *trials,
 		TraceWorkers: *workers, SweepWorkers: *sweepWorkers, LazySweep: *lazySweep,
+		AllocBufWords: *allocBuf,
 	}
 	progress := func(name string) {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "measuring %s...\n", name)
 		}
+	}
+
+	if *fig == "alloc" {
+		rows := harness.RunAllocReport(harness.DefaultAllocReport, progress)
+		fmt.Println(harness.FormatAllocReport(harness.DefaultAllocReport, rows))
+		return
 	}
 
 	if *fig == "sweep" {

@@ -29,6 +29,9 @@ func TestValidateAccepts(t *testing.T) {
 		func(o *options) { o.fig = "sweep" },
 		func(o *options) { o.fig = "2"; o.sweepWorkers = 4 },
 		func(o *options) { o.fig = "3"; o.lazySweep = true },
+		func(o *options) { o.fig = "alloc" },
+		func(o *options) { o.fig = "2"; o.allocBuf = 1024 },
+		func(o *options) { o.fig = "all"; o.allocBuf = 256; o.lazySweep = true },
 	}
 	for i, mut := range cases {
 		o := defaults()
@@ -65,6 +68,13 @@ func TestValidateRejects(t *testing.T) {
 		// would otherwise be silently ignored.
 		{func(o *options) { o.fig = "sweep"; o.lazySweep = true }, "configures its own"},
 		{func(o *options) { o.fig = "pause"; o.sweepWorkers = 2 }, "configures its own"},
+		{func(o *options) { o.allocBuf = -1 }, "-allocbuf"},
+		// Below vmheap.MinBufferWords would panic in core.New mid-run.
+		{func(o *options) { o.fig = "2"; o.allocBuf = 32 }, "below the minimum"},
+		// -fig alloc measures direct against its own buffer-size ladder; a
+		// stray -allocbuf would be silently ignored.
+		{func(o *options) { o.fig = "alloc"; o.allocBuf = 512 }, "configures its own"},
+		{func(o *options) { o.fig = "sweep"; o.allocBuf = 512 }, "configures its own"},
 	}
 	for i, c := range cases {
 		o := defaults()

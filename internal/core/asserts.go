@@ -106,7 +106,14 @@ func (t *Thread) StartRegion() error {
 	if t.rt.engine == nil {
 		return ErrAssertionsDisabled
 	}
+	// Buffered mode: objects bump-allocated so far belong to the enclosing
+	// bracket (if any); record them there before the new bracket opens,
+	// then restart the batch for the new bracket.
+	t.flushRegionRecords()
 	t.rt.engine.StartRegion(t.th)
+	if t.buf.Active() {
+		t.regionFrom = t.buf.Pos()
+	}
 	return nil
 }
 
@@ -122,5 +129,8 @@ func (t *Thread) AssertAllDead() error {
 	if err := t.rt.finishCycleForRegistration(); err != nil {
 		return err
 	}
+	// Buffered mode: the closing bracket's batched allocations must be in
+	// its queue before it is sealed.
+	t.flushRegionRecords()
 	return t.rt.engine.AssertAllDead(t.th)
 }

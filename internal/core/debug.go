@@ -16,6 +16,7 @@ type LiveObject struct {
 func (rt *Runtime) LiveSet() []LiveObject {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.flushAllocBuffers()
 	var out []LiveObject
 	rt.heap.Iterate(func(r vmheap.Ref, hd uint64) {
 		out = append(out, LiveObject{
@@ -42,6 +43,7 @@ func (rt *Runtime) HeaderFlags(r Ref) uint64 {
 func (rt *Runtime) FreeChunks() []vmheap.FreeChunk {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.flushAllocBuffers()
 	return rt.heap.FreeChunks()
 }
 

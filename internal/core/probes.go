@@ -24,6 +24,7 @@ import (
 func (rt *Runtime) ProbeReachable(obj Ref) (bool, []PathStep) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.flushAllocBuffers()
 	if !rt.heap.IsObject(obj) {
 		return false, nil
 	}
@@ -85,6 +86,7 @@ func (rt *Runtime) ProbeWillBeReclaimed(obj Ref) bool {
 func (rt *Runtime) ProbeInstanceCount(c *Class) int {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.flushAllocBuffers()
 
 	tr := trace.New(rt.heap, rt.reg)
 	tr.TraceBase(rt.rootSource())

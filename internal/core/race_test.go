@@ -15,24 +15,39 @@ import (
 // threads.Set and roots.Table through the runtime lock, and the parallel
 // trace workers racing over header words, including the fallback re-trace
 // when a mutator's assert-dead object is still rooted.
-func TestConcurrentMutatorsUnderGC(t *testing.T) {
+func TestConcurrentMutatorsUnderGC(t *testing.T) { concurrentMutatorsUnderGC(t, 0) }
+
+// TestConcurrentMutatorsUnderGCBuffered is the same chase with per-thread
+// allocation buffers enabled: four threads carving, bumping, and retiring
+// buffers (with tail coalescing) under the runtime lock while collections
+// force flush-all retirement. The final VerifyHeap checks the multi-buffer
+// retirement ordering leaves a fully coalesced, parseable heap.
+func TestConcurrentMutatorsUnderGCBuffered(t *testing.T) { concurrentMutatorsUnderGC(t, 256) }
+
+func concurrentMutatorsUnderGC(t *testing.T, bufWords int) {
 	const (
 		mutators = 4
 		iters    = 1500
 		locals   = 4
 	)
-	rt := New(Config{HeapWords: 1 << 14, Mode: Infrastructure, TraceWorkers: 4})
+	rt := New(Config{HeapWords: 1 << 14, Mode: Infrastructure, TraceWorkers: 4, AllocBuffers: bufWords})
 	node := rt.DefineClass("RNode", RefField("a"), RefField("b"))
 	aOff := node.MustFieldIndex("a")
 	bOff := node.MustFieldIndex("b")
 
 	var wg sync.WaitGroup
 	done := make(chan struct{})
+	// Create-then-start, as NewThread requires: every Thread is made on the
+	// main goroutine before the goroutine that drives it is spawned.
+	ths := make([]*Thread, mutators)
+	for m := range ths {
+		ths[m] = rt.NewThread(fmt.Sprintf("mut%d", m))
+	}
 	for m := 0; m < mutators; m++ {
 		wg.Add(1)
 		go func(m int) {
 			defer wg.Done()
-			th := rt.NewThread(fmt.Sprintf("mut%d", m))
+			th := ths[m]
 			fr := th.PushFrame(locals)
 			rng := rand.New(rand.NewSource(int64(m)))
 			for i := 0; i < iters; i++ {
@@ -98,6 +113,9 @@ func TestConcurrentMutatorsUnderGC(t *testing.T) {
 			}
 			if rt.Stats().GC.ParallelTraces == 0 {
 				t.Fatal("no parallel traces ran")
+			}
+			if bufWords > 0 && rt.Stats().Heap.BufferAllocs == 0 {
+				t.Fatal("no allocation ever went through a buffer")
 			}
 			return
 		default:

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/assertions"
 	"repro/internal/classes"
@@ -119,6 +120,20 @@ type Config struct {
 	// so reports can compute per-pause percentiles (gcbench -fig sweep).
 	// Off by default: the published figures never allocate the log.
 	RecordPauses bool
+	// AllocBuffers > 0 enables the bump-pointer allocation fast path: each
+	// thread allocates from a private buffer of that many words carved off
+	// the free lists in one piece, and the per-allocation bookkeeping
+	// (stats, region-queue recording, the incremental trigger check) is
+	// batched per buffer and flushed when the buffer is retired — at
+	// refill, before every collection, and before any heap walk. Assertion
+	// results are identical to the direct path; only object addresses
+	// differ. While the runtime has a single mutator thread the bump path
+	// runs without any lock; the first NewThread call switches it to a
+	// per-thread spinlock (see NewThread's create-then-start contract).
+	// Must be 0 (the default, the paper's direct free-list allocation —
+	// all published figures use it) or at least vmheap.MinBufferWords, and
+	// smaller than the heap.
+	AllocBuffers int
 }
 
 // Runtime is a managed heap plus its collector and assertion engine.
@@ -137,6 +152,26 @@ type Runtime struct {
 
 	recorder *report.Recorder
 	main     *Thread
+
+	// Allocation-buffer mode (Config.AllocBuffers). allocBufWords is the
+	// per-thread buffer size in words (0 = direct allocation); incremental
+	// records whether the collector runs incremental cycles (which disable
+	// the bump fast path while active); allThreads lists every Thread so
+	// flushAllocBuffers can retire all outstanding buffers.
+	allocBufWords uint32
+	incremental   bool
+	allThreads    []*Thread
+
+	// multiMutator is false until NewThread first runs and true forever
+	// after. While false the runtime has exactly one mutator thread, owned
+	// by the goroutine that created the runtime, so the bump-allocation
+	// fast path elides the buffer spinlock: nothing else can observe the
+	// buffer. NewThread flips the flag (under rt.mu, before the new Thread
+	// is visible), and since Threads are created by their parent goroutine
+	// before being handed to a new one — the managed-language
+	// create-then-start order documented on NewThread — the flip
+	// happens-before any second goroutine touches the runtime.
+	multiMutator atomic.Bool
 }
 
 // rootSource returns the aggregated root set (globals plus thread stacks).
@@ -160,6 +195,15 @@ func New(cfg Config) *Runtime {
 	}
 	if cfg.LazySweep && cfg.SweepWorkers >= 2 {
 		panic("core: LazySweep excludes SweepWorkers >= 2 (deferred reclamation is strictly in address order)")
+	}
+	if cfg.AllocBuffers < 0 {
+		panic("core: AllocBuffers must not be negative")
+	}
+	if cfg.AllocBuffers > 0 && cfg.AllocBuffers < vmheap.MinBufferWords {
+		panic(fmt.Sprintf("core: AllocBuffers %d below minimum %d (use 0 for direct allocation)", cfg.AllocBuffers, vmheap.MinBufferWords))
+	}
+	if cfg.AllocBuffers >= cfg.HeapWords {
+		panic(fmt.Sprintf("core: AllocBuffers %d must be smaller than the heap (%d words)", cfg.AllocBuffers, cfg.HeapWords))
 	}
 	rt := &Runtime{
 		heap:     vmheap.New(cfg.HeapWords),
@@ -202,9 +246,25 @@ func New(cfg Config) *Runtime {
 	}
 	rt.heap.SetSweepMode(cfg.SweepWorkers, cfg.LazySweep)
 	rt.collector.Stats().RecordPauses = cfg.RecordPauses
+	rt.allocBufWords = uint32(cfg.AllocBuffers)
+	rt.incremental = cfg.IncrementalBudget > 0
 
 	rt.main = &Thread{rt: rt, th: rt.threads.New("main")}
+	rt.allThreads = append(rt.allThreads, rt.main)
 	return rt
+}
+
+// flushAllocBuffers retires every thread's allocation buffer, making the
+// heap linearly parseable and its counters exact. Called before every
+// collection, heap walk, and verification. A cheap no-op when buffers are
+// disabled or none are active. Caller holds rt.mu.
+func (rt *Runtime) flushAllocBuffers() {
+	if rt.allocBufWords == 0 {
+		return
+	}
+	for _, t := range rt.allThreads {
+		t.flushBuffer()
+	}
 }
 
 // DefineClass registers a new class with the given fields.
@@ -232,11 +292,20 @@ func (rt *Runtime) ClassOf(r Ref) *Class {
 // MainThread returns the runtime's initial thread.
 func (rt *Runtime) MainThread() *Thread { return rt.main }
 
-// NewThread creates an additional mutator thread.
+// NewThread creates an additional mutator thread. Like a managed
+// language's Thread constructor, it must be called by a goroutine already
+// running mutator code (typically the main one) *before* the new Thread is
+// handed to the goroutine that will drive it — create, then start. The
+// first call permanently switches the allocation fast path from its
+// single-mutator lock-elided form to the spinlock-guarded one (see
+// Runtime.multiMutator).
 func (rt *Runtime) NewThread(name string) *Thread {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return &Thread{rt: rt, th: rt.threads.New(name)}
+	rt.multiMutator.Store(true)
+	t := &Thread{rt: rt, th: rt.threads.New(name)}
+	rt.allThreads = append(rt.allThreads, t)
+	return t
 }
 
 // Global is a named static root.
@@ -271,6 +340,7 @@ func (g *Global) Set(r Ref) {
 func (rt *Runtime) GC() error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.flushAllocBuffers()
 	return rt.collector.CollectFull()
 }
 
@@ -280,6 +350,7 @@ func (rt *Runtime) GC() error {
 func (rt *Runtime) Collect() error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.flushAllocBuffers()
 	return rt.collector.Collect()
 }
 
@@ -292,6 +363,7 @@ func (rt *Runtime) Collect() error {
 func (rt *Runtime) StartGC() error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.flushAllocBuffers()
 	return rt.collector.StartFull()
 }
 
@@ -302,6 +374,7 @@ func (rt *Runtime) StartGC() error {
 func (rt *Runtime) GCStep() (done bool, err error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.flushAllocBuffers()
 	return rt.collector.StepFull()
 }
 
@@ -313,6 +386,7 @@ func (rt *Runtime) GCStep() (done bool, err error) {
 func (rt *Runtime) FinishGC() error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.flushAllocBuffers()
 	return rt.collector.FinishFull()
 }
 

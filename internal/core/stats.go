@@ -14,6 +14,11 @@ type HeapStats struct {
 	LiveObjects   uint64
 	TotalAllocs   uint64
 	TotalWords    uint64
+	// BufferCarves and BufferAllocs count allocation-buffer refills and the
+	// allocations served by the bump-pointer fast path (Config.AllocBuffers);
+	// both stay zero under the default direct allocation.
+	BufferCarves uint64
+	BufferAllocs uint64
 }
 
 // Snapshot bundles the observable state of a runtime at one instant.
@@ -43,6 +48,25 @@ func (rt *Runtime) Stats() Snapshot {
 		},
 		GC:    *rt.collector.Stats(),
 		Sweep: rt.heap.SweepModeStats(),
+	}
+	s.Heap.BufferCarves, s.Heap.BufferAllocs = rt.heap.BufferStats()
+	// Fold in allocations still batched in active allocation buffers so
+	// the snapshot is exact without forcing a retirement (Stats must not
+	// mutate the heap). The buffer spinlock excludes each owner's bump
+	// path, which runs outside rt.mu.
+	for _, t := range rt.allThreads {
+		t.lockBuf()
+		if t.buf.Active() {
+			used := t.buf.UsedWords()
+			objs := t.buf.PendingObjects()
+			s.Heap.LiveWords += used
+			s.Heap.FreeWords += t.buf.TailWords()
+			s.Heap.LiveObjects += objs
+			s.Heap.TotalAllocs += objs
+			s.Heap.TotalWords += used
+			s.Heap.BufferAllocs += objs
+		}
+		t.unlockBuf()
 	}
 	if rt.engine != nil {
 		s.Asserts = rt.engine.Stats()
@@ -83,6 +107,7 @@ func (rt *Runtime) KindOf(r Ref) int {
 func (rt *Runtime) Objects(fn func(r Ref)) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.flushAllocBuffers()
 	rt.heap.Iterate(func(r Ref, _ uint64) { fn(r) })
 }
 
@@ -128,6 +153,7 @@ func (rt *Runtime) OutEdges(obj Ref) []Ref {
 func (rt *Runtime) VerifyHeap() []error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.flushAllocBuffers()
 	return rt.heap.Verify(rt.reg)
 }
 
@@ -138,6 +164,7 @@ func (rt *Runtime) VerifyHeap() []error {
 func (rt *Runtime) EachObject(fn func(class string, sizeWords uint32)) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.flushAllocBuffers()
 	rt.heap.Iterate(func(r Ref, _ uint64) {
 		fn(rt.reg.Name(rt.heap.ClassID(r)), rt.heap.SizeWords(r))
 	})
@@ -150,6 +177,7 @@ func (rt *Runtime) EachObject(fn func(class string, sizeWords uint32)) {
 func (rt *Runtime) AllocatedInstanceCount(c *Class) int {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.flushAllocBuffers()
 	n := 0
 	rt.heap.Iterate(func(r Ref, _ uint64) {
 		if rt.heap.ClassID(r) == c.ID {

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 
 	"repro/internal/classes"
 	"repro/internal/threads"
@@ -11,11 +13,52 @@ import (
 // Thread is a mutator thread: its frame locals are GC roots, and it carries
 // the per-thread region state of start-region / assert-alldead. Thread
 // methods may be called from any goroutine; a goroutine-per-Thread
-// structure mirrors a managed language's threads.
+// structure mirrors a managed language's threads. A single Thread is
+// owned by one goroutine at a time, as in a managed language; Runtime
+// methods and other Threads may run concurrently with it.
 type Thread struct {
 	rt *Runtime
 	th *threads.Thread
+
+	// Allocation-buffer mode (Config.AllocBuffers): buf is this thread's
+	// bump buffer, and regionFrom is the buffer position of the first
+	// bump-allocated object not yet recorded in the innermost region
+	// queue (region recording is batched and flushed at retirement and at
+	// region-bracket boundaries).
+	//
+	// Locking: the bump fast path deliberately does not take rt.mu — the
+	// buffer's span is this thread's exclusive property, so a global lock
+	// would serialize (and, at bump-allocation cost scale, dominate) the
+	// very path the buffers exist to make cheap. Instead bufMu, a
+	// per-thread spinlock, guards buf: the fast path holds only bufMu,
+	// and the cross-thread accessors — flushBuffer (reached from
+	// flushAllocBuffers at every GC entry and heap observation), the
+	// Stats fold, and Allocs — claim bufMu too, always while holding
+	// rt.mu (lock order: rt.mu, then bufMu; never the reverse). The
+	// owner's own slow-path refill and region operations run under rt.mu
+	// and need no bufMu: the owning goroutine cannot be in the fast path
+	// and a slow path at once, and every other accessor holds rt.mu.
+	// While the runtime is provably single-mutator (rt.multiMutator still
+	// false — NewThread has never run) even bufMu is elided on the bump
+	// path; the flip in NewThread happens-before any concurrent accessor,
+	// so the pre-flip plain writes are ordered before every post-flip
+	// locked read.
+	buf        vmheap.AllocBuffer
+	bufMu      atomic.Int32
+	regionFrom uint32
 }
+
+// lockBuf claims the buffer spinlock. Hold times are a handful of
+// nanoseconds (one bump or one fold), so spinning beats parking; Gosched
+// keeps a single-core scheduler from livelocking when the holder is
+// descheduled mid-bump.
+func (t *Thread) lockBuf() {
+	for !t.bufMu.CompareAndSwap(0, 1) {
+		runtime.Gosched()
+	}
+}
+
+func (t *Thread) unlockBuf() { t.bufMu.Store(0) }
 
 // Name returns the thread name.
 func (t *Thread) Name() string { return t.th.Name() }
@@ -104,15 +147,61 @@ func (t *Thread) NewDataArray(n int) Ref {
 	return r
 }
 
-// alloc is the common allocation path: allocate, collecting (then
-// collecting fully) on exhaustion; record the object in any active region
-// bracket on this thread.
+// alloc dispatches an allocation. With buffers enabled
+// (Config.AllocBuffers — immutable after New, so the read needs no lock)
+// the common case is a bounds check, a header store, and a cursor bump —
+// stats, region recording, and the incremental trigger check are batched
+// in the buffer and settled when it is retired (see the locking comment on
+// Thread.buf). Until NewThread creates a second mutator the bump needs no
+// lock at all: the spinlock's CAS+store pair costs more than half of a
+// direct free-list allocation on a contemporary core, so eliding it while
+// provably single-mutator (rt.multiMutator) is what makes the fast path
+// fast.
 func (t *Thread) alloc(kind vmheap.Kind, classID uint32, n uint32) (Ref, error) {
+	rt := t.rt
+	if rt.allocBufWords > 0 {
+		if !rt.multiMutator.Load() {
+			if r, ok := t.buf.Alloc(kind, classID, n); ok {
+				return r, nil
+			}
+		} else {
+			t.lockBuf()
+			r, ok := t.buf.Alloc(kind, classID, n)
+			t.unlockBuf()
+			if ok {
+				return r, nil
+			}
+		}
+	}
+	return t.allocSlow(kind, classID, n)
+}
+
+// allocSlow is allocation off the bump path: refill the buffer if buffers
+// are enabled, else (or when refill declines) allocate from the free
+// lists, collecting (then collecting fully) on exhaustion; record the
+// object in any active region bracket on this thread.
+func (t *Thread) allocSlow(kind vmheap.Kind, classID uint32, n uint32) (Ref, error) {
 	rt := t.rt
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 
+	if rt.allocBufWords > 0 {
+		if r, ok := t.refillAlloc(kind, classID, n); ok {
+			return r, nil
+		}
+		// Fall through to the direct path: incremental cycle active,
+		// object larger than a buffer, an argument the buffer declined to
+		// validate, or the free lists cannot supply even a minimal buffer
+		// (a collection may be needed).
+	}
+
 	r, err := rt.heap.Alloc(kind, classID, n)
+	if err == vmheap.ErrHeapExhausted && rt.allocBufWords > 0 {
+		// Other threads' buffer tails may hold the needed words; retire
+		// every buffer before paying for a collection.
+		rt.flushAllocBuffers()
+		r, err = rt.heap.Alloc(kind, classID, n)
+	}
 	if err == vmheap.ErrHeapExhausted {
 		if cerr := rt.collector.Collect(); cerr != nil {
 			return Nil, cerr
@@ -145,14 +234,95 @@ func (t *Thread) alloc(kind vmheap.Kind, classID uint32, n uint32) (Ref, error) 
 
 	// Incremental mode (a no-op otherwise): start a cycle when free space
 	// runs low, allocate black during an active cycle, and pay one mark
-	// slice as an allocation tax.
+	// slice as an allocation tax. A tax slice can complete the cycle and
+	// sweep, so any outstanding buffers must be retired first.
+	if rt.incremental {
+		rt.flushAllocBuffers()
+	}
 	rt.collector.DidAllocate(r)
 	return r, nil
 }
 
-// Allocs returns the number of allocations this thread performed.
+// refillAlloc retires the thread's exhausted buffer, carves a fresh one,
+// and satisfies the allocation from it. ok=false sends the caller to the
+// direct path: for objects too large for a buffer, while an incremental
+// cycle is active (allocate-black and the mark tax are per-object), or
+// when the free lists cannot supply even a minimal buffer. Caller holds
+// rt.mu.
+func (t *Thread) refillAlloc(kind vmheap.Kind, classID uint32, n uint32) (Ref, bool) {
+	rt := t.rt
+	need := vmheap.ObjectWords(kind, n)
+	if need > rt.allocBufWords || need > vmheap.MaxObjectWords || classID > vmheap.MaxClassID {
+		// Oversized object (keep the current buffer — it may still serve
+		// smaller allocations) or an invalid class id: allocate directly,
+		// which reports the class-id overflow the same way as the
+		// buffers-off configuration.
+		return Nil, false
+	}
+	t.flushBuffer()
+	if rt.incremental {
+		// The refill is the batched equivalent of the direct path's
+		// per-allocation trigger check. Starting a cycle requires every
+		// buffer retired (the cycle ends in a heap parse), and while one
+		// is active allocation stays on the direct path.
+		if rt.collector.IncrementalActive() {
+			return Nil, false
+		}
+		rt.flushAllocBuffers()
+		rt.collector.DidRefill()
+		if rt.collector.IncrementalActive() {
+			return Nil, false
+		}
+	}
+	if !rt.heap.CarveBuffer(&t.buf, need, rt.allocBufWords) {
+		return Nil, false
+	}
+	if t.th.InRegion() {
+		t.regionFrom = t.buf.Pos()
+	}
+	r, ok := t.buf.Alloc(kind, classID, n)
+	if !ok {
+		panic("core: fresh allocation buffer cannot satisfy its triggering allocation")
+	}
+	return r, ok
+}
+
+// flushBuffer retires t's allocation buffer: batched region recording is
+// flushed, the batched allocation count is folded into the thread, and the
+// buffer's unused tail returns to the free lists. A no-op when the buffer
+// is inactive. Caller holds rt.mu; the buffer spinlock is claimed here
+// because the caller may be flushing another thread's buffer
+// (flushAllocBuffers) while its owner is mid-bump.
+func (t *Thread) flushBuffer() {
+	t.lockBuf()
+	defer t.unlockBuf()
+	if !t.buf.Active() {
+		return
+	}
+	t.flushRegionRecords()
+	t.th.AddAllocs(t.buf.PendingObjects())
+	t.buf.Retire()
+}
+
+// flushRegionRecords appends the thread's not-yet-recorded bump-allocated
+// objects to its innermost region queue, in allocation order. Called at
+// buffer retirement and at region-bracket boundaries (StartRegion records
+// into the enclosing bracket before the new one opens; AssertAllDead
+// records before the bracket closes). Caller holds rt.mu.
+func (t *Thread) flushRegionRecords() {
+	if !t.buf.Active() || !t.th.InRegion() {
+		return
+	}
+	t.buf.EachObjectFrom(t.regionFrom, t.th.RecordRegionAlloc)
+	t.regionFrom = t.buf.Pos()
+}
+
+// Allocs returns the number of allocations this thread performed,
+// including any still batched in its allocation buffer.
 func (t *Thread) Allocs() uint64 {
 	t.rt.mu.Lock()
 	defer t.rt.mu.Unlock()
-	return t.th.Allocs()
+	t.lockBuf()
+	defer t.unlockBuf()
+	return t.th.Allocs() + t.buf.PendingObjects()
 }

@@ -206,6 +206,12 @@ type Collector interface {
 	IncrementalActive() bool
 	SnapshotBarrier(obj vmheap.Ref)
 	DidAllocate(r vmheap.Ref)
+	// DidRefill is the allocation-buffer analog of DidAllocate's trigger
+	// check, called once per buffer refill instead of once per object:
+	// it may start an incremental cycle when free space runs low. The
+	// caller must have retired every allocation buffer first. A no-op
+	// unless incremental mode is configured.
+	DidRefill()
 }
 
 // MarkSweep is the full-heap mark-sweep collector the paper evaluates.
@@ -315,6 +321,15 @@ func (c *MarkSweep) DidAllocate(r vmheap.Ref) {
 	c.incParts().didAllocate(r)
 }
 
+// DidRefill implements Collector: the per-buffer-refill incremental
+// trigger check.
+func (c *MarkSweep) DidRefill() {
+	if c.IncrementalBudget <= 0 {
+		return
+	}
+	c.incParts().didRefill()
+}
+
 // Collect implements Collector: every MarkSweep collection is full-heap.
 func (c *MarkSweep) Collect() error { return c.CollectFull() }
 
@@ -351,6 +366,7 @@ func (c *MarkSweep) CollectFull() error {
 	if c.inc.active || c.inc.pending != nil {
 		return c.incParts().finish()
 	}
+	c.heap.AssertNoBuffers("full collection")
 	start := time.Now()
 	// A lazy sweep still pending from the previous cycle must finish before
 	// this trace: its unswept ranges carry stale mark bits and uninstalled

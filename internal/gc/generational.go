@@ -168,6 +168,15 @@ func (c *Generational) DidAllocate(r vmheap.Ref) {
 	c.incParts().didAllocate(r)
 }
 
+// DidRefill implements Collector: the per-buffer-refill incremental
+// trigger check.
+func (c *Generational) DidRefill() {
+	if c.IncrementalBudget <= 0 {
+		return
+	}
+	c.incParts().didRefill()
+}
+
 // Collect implements Collector: minor by default, escalating to major per
 // policy. While a major incremental cycle is in flight the policy is
 // overridden: the cycle is completed instead (a minor sweep would recycle
@@ -193,6 +202,7 @@ func (c *Generational) Collect() error {
 // collectMinor traces and sweeps the immature generation only. No
 // assertion checks run.
 func (c *Generational) collectMinor() error {
+	c.heap.AssertNoBuffers("minor collection")
 	start := time.Now()
 	// Finish any lazily pending sweep before tracing (stale mark bits).
 	leftover := c.stats.timedPhase(c.heap.CompleteSweep)
@@ -240,6 +250,7 @@ func (c *Generational) CollectFull() error {
 	if c.inc.active || c.inc.pending != nil {
 		return c.incParts().finish()
 	}
+	c.heap.AssertNoBuffers("full collection")
 	start := time.Now()
 	// Finish any lazily pending sweep before tracing (stale mark bits).
 	leftover := c.stats.timedPhase(c.heap.CompleteSweep)

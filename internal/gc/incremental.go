@@ -64,6 +64,9 @@ func (p incShared) start() {
 	if p.st.active {
 		return
 	}
+	// The cycle ends in a full-heap sweep and the snapshot trace reads
+	// headers arena-wide; allocation buffers must all have been retired.
+	p.heap.AssertNoBuffers("incremental cycle start")
 	begin := time.Now()
 	// A lazy sweep pending from the previous cycle must finish before the
 	// snapshot is taken: its unswept ranges carry stale mark bits.
@@ -184,4 +187,19 @@ func (p incShared) didAllocate(r vmheap.Ref) {
 	if _, err := p.step(); err != nil {
 		p.st.pending = err
 	}
+}
+
+// didRefill is the buffer-refill trigger: the batched equivalent of
+// didAllocate's free-space check, paid once per allocation buffer instead
+// of once per object. There is no object to blacken and no tax slice here
+// — while a cycle is active the runtime routes allocation to the direct
+// path, whose didAllocate pays both.
+func (p incShared) didRefill() {
+	if p.st.active {
+		return
+	}
+	if float64(p.heap.FreeWords()) >= incTriggerFraction*float64(p.heap.CapacityWords()) {
+		return
+	}
+	p.start()
 }

@@ -1,0 +1,205 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// Allocation-throughput report (gcbench -fig alloc): measures the
+// bump-pointer allocation-buffer fast path (core.Config.AllocBuffers)
+// against the direct free-list allocator, two ways per mode:
+//
+//   - the configured workload, run to a fixed iteration count, reporting
+//     allocations per millisecond of mutator (non-GC) time — the figure
+//     recorded in results/alloc_fastpath.txt;
+//   - a pure allocation loop using the workload's object-size profile
+//     (small ref scalars plus 10-element data arrays, as pseudojbb
+//     allocates), isolating the per-allocation cost from the rest of the
+//     mutator.
+//
+// The published paper figures always use the direct allocator; this report
+// is the observability surface for the fast path.
+
+// AllocReportConfig shapes one allocation-mode comparison.
+type AllocReportConfig struct {
+	// Workload names the benchmark to drive (workloads.ByName).
+	Workload string
+	// HeapWords overrides the workload's default heap size (0 keeps it).
+	HeapWords int
+	// Iterations is the number of workload iterations per mode.
+	Iterations int
+	// BufWords lists the buffer sizes to measure; the direct allocator
+	// (buffer size 0) is always measured first as the baseline.
+	BufWords []int
+	// LoopAllocs is the allocation count of the pure allocation loop.
+	LoopAllocs int
+	// Collector selects the collector.
+	Collector core.CollectorKind
+}
+
+// DefaultAllocReport keeps the whole report under a minute while running
+// enough allocations that per-allocation times are stable.
+var DefaultAllocReport = AllocReportConfig{
+	Workload:   "pseudojbb",
+	HeapWords:  1 << 19,
+	Iterations: 400,
+	BufWords:   []int{256, 1024, 4096},
+	LoopAllocs: 4_000_000,
+	Collector:  core.MarkSweep,
+}
+
+// AllocRow is one allocation mode's measurements.
+type AllocRow struct {
+	// Mode is "direct" or "buffered-N".
+	Mode string
+	// Workload numbers: total allocations performed, wall time, collector
+	// time, and the derived mutator-side allocation throughput.
+	Allocs      uint64
+	Elapsed     time.Duration
+	GCTime      time.Duration
+	AllocsPerMs float64 // allocs per ms of (Elapsed - GCTime)
+	// Pure-loop numbers: ns of mutator time per allocation and the
+	// throughput ratio against the direct baseline.
+	LoopNsPerAlloc float64
+	LoopSpeedup    float64
+	// WorkSpeedup is the workload AllocsPerMs ratio against direct.
+	WorkSpeedup float64
+}
+
+// runAllocWorkload drives the configured workload once under one
+// allocation mode.
+func runAllocWorkload(cfg AllocReportConfig, bufWords int) (allocs uint64, elapsed, gcTime time.Duration) {
+	f := workloads.ByName(cfg.Workload)
+	if f == nil {
+		panic(fmt.Sprintf("harness: unknown workload %q", cfg.Workload))
+	}
+	w := f()
+	heapWords := w.HeapWords()
+	if cfg.HeapWords > 0 {
+		heapWords = cfg.HeapWords
+	}
+	rt := core.New(core.Config{
+		HeapWords:    heapWords,
+		Mode:         core.Base,
+		Collector:    cfg.Collector,
+		AllocBuffers: bufWords,
+	})
+	th := rt.MainThread()
+	w.Setup(rt, th)
+	gc0 := rt.Stats().GC.GCTime
+	start := time.Now()
+	for i := 0; i < cfg.Iterations; i++ {
+		w.Iterate(rt, th)
+	}
+	elapsed = time.Since(start)
+	st := rt.Stats()
+	return st.Heap.TotalAllocs, elapsed, st.GC.GCTime - gc0
+}
+
+// runAllocLoop times a tight allocation loop — every object becomes
+// garbage immediately — using pseudojbb's object-size profile, and returns
+// the mutator (non-GC) nanoseconds per allocation.
+func runAllocLoop(cfg AllocReportConfig, bufWords int) float64 {
+	heapWords := cfg.HeapWords
+	if heapWords == 0 {
+		heapWords = 1 << 19
+	}
+	rt := core.New(core.Config{
+		HeapWords:    heapWords,
+		Mode:         core.Base,
+		Collector:    cfg.Collector,
+		AllocBuffers: bufWords,
+	})
+	th := rt.MainThread()
+	order := rt.DefineClass("allocloop.Order",
+		core.RefField("lines"), core.DataField("total"))
+
+	n := cfg.LoopAllocs
+	var sink core.Ref
+	gc0 := rt.Stats().GC.GCTime
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		// The pseudojbb mix: mostly small scalars, periodically a
+		// 10-element data array (an order's line table). Nothing is
+		// rooted — every object is garbage the moment it is allocated, so
+		// the loop times allocation alone, not rooting.
+		if i%4 == 3 {
+			sink = th.NewDataArray(10)
+		} else {
+			sink = th.New(order)
+		}
+	}
+	elapsed := time.Since(start)
+	_ = sink
+	mutator := elapsed - (rt.Stats().GC.GCTime - gc0)
+	return float64(mutator.Nanoseconds()) / float64(n)
+}
+
+// RunAllocReport measures the workload and the allocation loop under the
+// direct allocator and every configured buffer size.
+func RunAllocReport(cfg AllocReportConfig, progress func(string)) []AllocRow {
+	sizes := append([]int{0}, cfg.BufWords...)
+	rows := make([]AllocRow, 0, len(sizes))
+	for _, bw := range sizes {
+		mode := "direct"
+		if bw > 0 {
+			mode = fmt.Sprintf("buffered-%d", bw)
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("alloc report, %s", mode))
+		}
+		// One untimed priming run per mode (see Measure): first-window
+		// CPU ramp-up would bias the direct baseline.
+		runAllocWorkload(cfg, bw)
+		allocs, elapsed, gcTime := runAllocWorkload(cfg, bw)
+		runAllocLoop(cfg, bw)
+		loopNs := runAllocLoop(cfg, bw)
+
+		row := AllocRow{
+			Mode:           mode,
+			Allocs:         allocs,
+			Elapsed:        elapsed,
+			GCTime:         gcTime,
+			LoopNsPerAlloc: loopNs,
+		}
+		if mut := elapsed - gcTime; mut > 0 {
+			row.AllocsPerMs = float64(allocs) / (float64(mut) / float64(time.Millisecond))
+		}
+		if len(rows) > 0 {
+			base := rows[0]
+			if loopNs > 0 {
+				row.LoopSpeedup = base.LoopNsPerAlloc / loopNs
+			}
+			if base.AllocsPerMs > 0 {
+				row.WorkSpeedup = row.AllocsPerMs / base.AllocsPerMs
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatAllocReport renders the allocation rows as a table.
+func FormatAllocReport(cfg AllocReportConfig, rows []AllocRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Allocation throughput: direct free-list vs bump-pointer buffers (%s, %d iterations, %s collector)\n",
+		cfg.Workload, cfg.Iterations, cfg.Collector)
+	fmt.Fprintf(&b, "%-14s %10s %9s %7s %11s %8s %10s %8s\n",
+		"mode", "allocs", "elapsed", "gc-ms", "allocs/mut-ms", "speedup", "loop-ns/op", "speedup")
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for i, r := range rows {
+		work, loop := "-", "-"
+		if i > 0 {
+			work = fmt.Sprintf("%.2fx", r.WorkSpeedup)
+			loop = fmt.Sprintf("%.2fx", r.LoopSpeedup)
+		}
+		fmt.Fprintf(&b, "%-14s %10d %8.1fms %7.1f %13.0f %8s %10.1f %8s\n",
+			r.Mode, r.Allocs, ms(r.Elapsed), ms(r.GCTime), r.AllocsPerMs, work, r.LoopNsPerAlloc, loop)
+	}
+	fmt.Fprintf(&b, "\nallocs/mut-ms is workload allocations per millisecond of mutator (non-GC)\ntime; loop-ns/op is a pure allocation loop over the workload's object-size\nprofile. speedup columns are against the direct baseline. The published\npaper figures always use the direct allocator (AllocBuffers=0).\n")
+	return b.String()
+}

@@ -26,6 +26,10 @@ type RunConfig struct {
 	// published figures use.
 	SweepWorkers int
 	LazySweep    bool
+	// AllocBufWords is passed through to core.Config.AllocBuffers: 0
+	// keeps the direct free-list allocation the published figures use;
+	// > 0 enables per-thread bump allocation buffers of that many words.
+	AllocBufWords int
 }
 
 // DefaultRunConfig mirrors the paper's shape at a scale that finishes in
@@ -83,6 +87,7 @@ func runTrial(s Subject, rc RunConfig) trial {
 		TraceWorkers: rc.TraceWorkers,
 		SweepWorkers: rc.SweepWorkers,
 		LazySweep:    rc.LazySweep,
+		AllocBuffers: rc.AllocBufWords,
 	})
 	iterate := s.Build(rt)
 	for i := 0; i < rc.Warmup; i++ {

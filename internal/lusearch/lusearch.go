@@ -171,11 +171,20 @@ func (e *Engine) Run(queriesPerThread int, midRun func()) {
 	release := make(chan struct{})
 	var wg sync.WaitGroup
 
+	// Create-then-start, as rt.NewThread requires: the mutator Threads are
+	// made here on the calling goroutine before their driver goroutines
+	// exist, mirroring how a managed language constructs a Thread before
+	// calling start().
+	ths := make([]*core.Thread, cfg.Threads)
+	for t := range ths {
+		ths[t] = e.rt.NewThread("searcher")
+	}
+
 	for t := 0; t < cfg.Threads; t++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			th := e.rt.NewThread("searcher")
+			th := ths[id]
 			f := th.PushFrame(1)
 			defer th.PopFrame()
 

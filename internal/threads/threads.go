@@ -144,6 +144,11 @@ func (t *Thread) EachRoot(fn func(slot *vmheap.Ref)) {
 // CountAlloc bumps the thread's allocation counter.
 func (t *Thread) CountAlloc() { t.allocs++ }
 
+// AddAllocs folds a batch of n allocations into the thread's counter (the
+// allocation-buffer fast path counts per buffer and flushes at
+// retirement).
+func (t *Thread) AddAllocs(n uint64) { t.allocs += n }
+
 // Allocs returns the number of allocations performed by this thread.
 func (t *Thread) Allocs() uint64 { return t.allocs }
 

@@ -113,8 +113,13 @@ func (t *Tracer) Stats() Stats { return t.stats }
 // the last trace, or nil.
 func (t *Tracer) Halted() *report.Violation { return t.halt }
 
-// Reset clears per-collection state (stats, halt request).
+// Reset clears per-collection state (stats, halt request). Every
+// collection resets the tracer before marking, so this is also the
+// chokepoint asserting that no allocation buffer is outstanding: a trace
+// over a heap with an active buffer would push refs whose eventual sweep
+// cannot parse the buffer's unwritten tail.
 func (t *Tracer) Reset() {
+	t.heap.AssertNoBuffers("trace")
 	t.stats = Stats{}
 	t.pstats = ParallelStats{}
 	t.halt = nil

@@ -1,6 +1,9 @@
 package vmheap
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // freeNextSlot is the word offset within a free chunk that stores the Ref of
 // the next chunk on the same free list.
@@ -15,6 +18,7 @@ func (h *Heap) resetFreeLists() {
 	for i := range h.bins {
 		h.bins[i] = Nil
 	}
+	h.binOcc = 0
 	h.largeBin = Nil
 }
 
@@ -36,6 +40,7 @@ func (h *Heap) installChunk(addr Ref, size uint32) {
 	if b := binFor(size); b >= 0 {
 		h.words[uint32(addr)+freeNextSlot] = uint64(h.bins[b])
 		h.bins[b] = addr
+		h.binOcc |= 1 << uint(b)
 	} else {
 		h.words[uint32(addr)+freeNextSlot] = uint64(h.largeBin)
 		h.largeBin = addr
@@ -52,31 +57,12 @@ func (h *Heap) Alloc(kind Kind, classID uint32, fieldWords uint32) (Ref, error) 
 	if classID > MaxClassID {
 		panic(fmt.Sprintf("vmheap: class id %d exceeds header capacity", classID))
 	}
-	var size uint32
-	switch kind {
-	case KindScalar:
-		size = 1 + fieldWords
-	case KindRefArray, KindDataArray:
-		size = arrayHeaderWords + fieldWords
-	default:
-		panic(fmt.Sprintf("vmheap: unknown kind %d", kind))
-	}
-	size = align2(size)
-	if size < minChunkWords {
-		size = minChunkWords
-	}
+	size := ObjectWords(kind, fieldWords)
 	if size > MaxObjectWords {
 		return Nil, fmt.Errorf("vmheap: object of %d words exceeds maximum %d", size, MaxObjectWords)
 	}
 
-	addr := h.carve(size)
-	// Lazy mode: the free lists only describe already-swept parse ranges.
-	// Sweep the next range on demand (ascending, so coalescing matches the
-	// eager sweep) and retry until the request fits; ErrHeapExhausted is
-	// only reported once every range has been reclaimed.
-	for addr == Nil && h.sweepSegment(true) {
-		addr = h.carve(size)
-	}
+	addr := h.carveDemand(size)
 	if addr == Nil {
 		return Nil, ErrHeapExhausted
 	}
@@ -89,9 +75,7 @@ func (h *Heap) Alloc(kind Kind, classID uint32, fieldWords uint32) (Ref, error) 
 	// Zero the payload and install the header. The chunk header word is
 	// overwritten; every other word must be cleared because free-list
 	// links and stale object data may remain.
-	for i := uint32(addr) + 1; i < uint32(addr)+size; i++ {
-		h.words[i] = 0
-	}
+	clear(h.words[uint32(addr)+1 : uint32(addr)+size])
 	h.words[addr] = makeHeader(kind, classID, size)
 	if kind != KindScalar {
 		h.words[addr+1] = uint64(fieldWords)
@@ -105,31 +89,109 @@ func (h *Heap) Alloc(kind Kind, classID uint32, fieldWords uint32) (Ref, error) 
 	return addr, nil
 }
 
+// ObjectWords returns the chunk size in words an object of the given kind
+// and payload occupies: header word(s) plus fields, aligned and clamped to
+// the minimum chunk size. The result can exceed MaxObjectWords; callers
+// that care must check.
+func ObjectWords(kind Kind, fieldWords uint32) uint32 {
+	var size uint32
+	switch kind {
+	case KindScalar:
+		size = 1 + fieldWords
+	case KindRefArray, KindDataArray:
+		size = arrayHeaderWords + fieldWords
+	default:
+		panic(fmt.Sprintf("vmheap: unknown kind %d", kind))
+	}
+	size = align2(size)
+	if size < minChunkWords {
+		size = minChunkWords
+	}
+	return size
+}
+
+// carveDemand is carve plus lazy mode's demand sweeping: the free lists
+// only describe already-swept parse ranges, so on a miss the next range is
+// reclaimed (ascending, so coalescing matches the eager sweep) and the
+// carve retried. Nil is only returned once every range has been reclaimed.
+func (h *Heap) carveDemand(size uint32) Ref {
+	addr := h.carve(size)
+	for addr == Nil && h.sweepSegment(true) {
+		addr = h.carve(size)
+	}
+	return addr
+}
+
 // carve finds a free chunk of at least size words, removes it from its free
 // list, splits off any remainder back onto the free lists, and returns its
 // address. It returns Nil if no chunk is large enough.
 func (h *Heap) carve(size uint32) Ref {
-	// Exact bin first, then first-fit over larger exact bins, then the
-	// large list.
+	// Exact bin first, then the next non-empty larger exact bin (found in
+	// O(1) via the occupancy bitmap), then the large list.
 	if b := binFor(size); b >= 0 {
 		if addr := h.bins[b]; addr != Nil {
-			h.bins[b] = Ref(h.words[uint32(addr)+freeNextSlot])
+			h.popBin(b, addr)
 			return addr
 		}
 		// A larger exact chunk can be split. The remainder must be at
-		// least minChunkWords, so start from the bin holding
+		// least minChunkWords, so candidates start at the bin holding
 		// size+minChunkWords.
-		for i := b + int(minChunkWords/2); i < numExactBins; i++ {
+		lo := b + int(minChunkWords/2)
+		if mask := h.binOcc >> uint(lo); mask != 0 {
+			i := lo + bits.TrailingZeros64(mask)
 			addr := h.bins[i]
-			if addr == Nil {
-				continue
-			}
-			h.bins[i] = Ref(h.words[uint32(addr)+freeNextSlot])
+			h.popBin(i, addr)
 			h.split(addr, headerSize(h.words[addr]), size)
 			return addr
 		}
 	}
 	return h.carveLarge(size)
+}
+
+// popBin unlinks the head chunk addr from exact bin b, clearing the bin's
+// occupancy bit when the list empties.
+func (h *Heap) popBin(b int, addr Ref) {
+	next := Ref(h.words[uint32(addr)+freeNextSlot])
+	h.bins[b] = next
+	if next == Nil {
+		h.binOcc &^= 1 << uint(b)
+	}
+}
+
+// unlinkChunk removes the free chunk of the given size at addr from its
+// free list. The chunk must be listed: the only caller is buffer-tail
+// coalescing, and any free-flagged chunk adjacent to a carved buffer is a
+// post-sweep subdivision sitting on the lists (stale pre-sweep flags exist
+// only in unswept lazy ranges, which buffers never border). The walk is
+// usually O(1): the merge target is almost always the carve's own split
+// remainder, still at the head of its bin.
+func (h *Heap) unlinkChunk(addr Ref, size uint32) {
+	b := binFor(size)
+	head := h.largeBin
+	if b >= 0 {
+		head = h.bins[b]
+	}
+	prev := Nil
+	for c := head; c != Nil; c = Ref(h.words[uint32(c)+freeNextSlot]) {
+		if c != addr {
+			prev = c
+			continue
+		}
+		next := Ref(h.words[uint32(c)+freeNextSlot])
+		switch {
+		case prev != Nil:
+			h.words[uint32(prev)+freeNextSlot] = uint64(next)
+		case b >= 0:
+			h.bins[b] = next
+			if next == Nil {
+				h.binOcc &^= 1 << uint(b)
+			}
+		default:
+			h.largeBin = next
+		}
+		return
+	}
+	panic(fmt.Sprintf("vmheap: free chunk at %d (%d words) not on its free list", addr, size))
 }
 
 // carveLarge first-fit scans the large list for a chunk of at least size

@@ -1,0 +1,304 @@
+package vmheap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBufferBumpRetire exercises the basic buffer lifecycle: carve, bump a
+// few objects, retire, and check that the heap is exactly as parseable and
+// as accounted as if the objects had been allocated directly.
+func TestBufferBumpRetire(t *testing.T) {
+	h := New(1 << 10)
+	cap := h.CapacityWords()
+
+	var b AllocBuffer
+	if !h.CarveBuffer(&b, ObjectWords(KindScalar, 3), 128) {
+		t.Fatal("CarveBuffer failed on an empty heap")
+	}
+	if !b.Active() || h.ActiveBuffers() != 1 {
+		t.Fatalf("buffer not active after carve (ActiveBuffers=%d)", h.ActiveBuffers())
+	}
+	if b.TailWords() != 128 {
+		t.Fatalf("carved %d words, want 128", b.TailWords())
+	}
+
+	var refs []Ref
+	var wantWords uint64
+	for i := 0; i < 10; i++ {
+		r, ok := b.Alloc(KindScalar, 1, 3)
+		if !ok {
+			t.Fatalf("bump alloc %d failed with %d tail words", i, b.TailWords())
+		}
+		refs = append(refs, r)
+		wantWords += uint64(ObjectWords(KindScalar, 3))
+	}
+	ar, ok := b.Alloc(KindDataArray, 2, 5)
+	if !ok {
+		t.Fatal("bump array alloc failed")
+	}
+	refs = append(refs, ar)
+	wantWords += uint64(ObjectWords(KindDataArray, 5))
+	if h.ArrayLen(ar) != 5 {
+		t.Fatalf("array length %d, want 5", h.ArrayLen(ar))
+	}
+	if b.PendingObjects() != 11 || b.UsedWords() != wantWords {
+		t.Fatalf("pending %d objs / %d words, want 11 / %d", b.PendingObjects(), b.UsedWords(), wantWords)
+	}
+
+	// Batched accounting: nothing flushed yet.
+	if h.LiveObjects() != 0 || h.TotalAllocs() != 0 {
+		t.Fatalf("heap counters moved before retire: %d live, %d allocs", h.LiveObjects(), h.TotalAllocs())
+	}
+
+	b.Retire()
+	if b.Active() || h.ActiveBuffers() != 0 {
+		t.Fatal("buffer still active after retire")
+	}
+	if h.LiveObjects() != 11 || h.TotalAllocs() != 11 || h.LiveWords() != wantWords {
+		t.Fatalf("retired counters: %d objs / %d allocs / %d words, want 11 / 11 / %d",
+			h.LiveObjects(), h.TotalAllocs(), h.LiveWords(), wantWords)
+	}
+	if h.LiveWords()+h.FreeWords() != cap {
+		t.Fatalf("live %d + free %d != capacity %d", h.LiveWords(), h.FreeWords(), cap)
+	}
+
+	// The heap must parse linearly across the former buffer, seeing
+	// exactly the bump-allocated objects.
+	var seen []Ref
+	h.Iterate(func(r Ref, _ uint64) { seen = append(seen, r) })
+	if len(seen) != len(refs) {
+		t.Fatalf("parse found %d objects, want %d", len(seen), len(refs))
+	}
+	for i, r := range refs {
+		if seen[i] != r {
+			t.Fatalf("parse object %d at %d, want %d", i, seen[i], r)
+		}
+	}
+	if errs := h.CheckFreeLists(); len(errs) > 0 {
+		t.Fatalf("free lists corrupt after retire: %v", errs[0])
+	}
+	if errs := h.Verify(nil); len(errs) > 0 {
+		t.Fatalf("heap corrupt after retire: %v", errs[0])
+	}
+}
+
+// TestBufferPayloadZeroed checks that bump-allocated objects see zeroed
+// payloads even when the buffer memory previously held object data and
+// free-list links.
+func TestBufferPayloadZeroed(t *testing.T) {
+	h := New(1 << 10)
+	// Dirty the arena: allocate, scribble, free everything.
+	for {
+		r, err := h.Alloc(KindScalar, 1, 6)
+		if err != nil {
+			break
+		}
+		for i := uint32(1); i < 7; i++ {
+			h.SetWord(r, i, ^uint64(0))
+		}
+	}
+	h.Sweep(SweepOptions{}) // nothing marked: frees all
+
+	var b AllocBuffer
+	if !h.CarveBuffer(&b, ObjectWords(KindScalar, 6), 256) {
+		t.Fatal("CarveBuffer failed")
+	}
+	for {
+		r, ok := b.Alloc(KindScalar, 1, 6)
+		if !ok {
+			break
+		}
+		for i := uint32(1); i < 7; i++ {
+			if w := h.Word(r, i); w != 0 {
+				t.Fatalf("object %d word %d not zeroed: %#x", r, i, w)
+			}
+		}
+	}
+	b.Retire()
+}
+
+// TestBufferHalvingUnderFragmentation carves with a preferred size the
+// fragmented free lists cannot supply, checking the fallback halves down
+// rather than failing.
+func TestBufferHalvingUnderFragmentation(t *testing.T) {
+	h := New(1 << 12)
+	// Fill with 8-word objects, then free every other one: largest free
+	// chunk is 8 words.
+	var refs []Ref
+	for {
+		r, err := h.Alloc(KindScalar, 1, 7)
+		if err != nil {
+			break
+		}
+		refs = append(refs, r)
+	}
+	for i, r := range refs {
+		if i%2 == 0 {
+			h.SetFlags(r, FlagMark)
+		}
+	}
+	h.Sweep(SweepOptions{})
+
+	var b AllocBuffer
+	if h.CarveBuffer(&b, ObjectWords(KindScalar, 3), 1<<11) {
+		t.Fatalf("carve of 2048 words succeeded on a heap with 8-word holes (got %d)", b.TailWords())
+	}
+	// With a min request that fits a hole, the halving floor must reach it.
+	if MinBufferWords <= 8 {
+		t.Fatalf("test assumes MinBufferWords > hole size; got %d", MinBufferWords)
+	}
+}
+
+// TestBufferGuards checks that sweeps and heap walks refuse to run over an
+// active buffer.
+func TestBufferGuards(t *testing.T) {
+	h := New(1 << 10)
+	var b AllocBuffer
+	if !h.CarveBuffer(&b, 4, 128) {
+		t.Fatal("CarveBuffer failed")
+	}
+	defer b.Retire()
+
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"Sweep", func() { h.Sweep(SweepOptions{}) }},
+		{"Iterate", func() { h.Iterate(func(Ref, uint64) {}) }},
+		{"Verify", func() { h.Verify(nil) }},
+		{"CarveSame", func() { h.CarveBuffer(&b, 4, 128) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic with an active buffer", tc.name)
+				}
+			}()
+			tc.f()
+		}()
+	}
+}
+
+// TestBufferAllocSizeParity allocates the same object sequence directly
+// and through a buffer and checks headers and sizes agree word for word.
+func TestBufferAllocSizeParity(t *testing.T) {
+	type req struct {
+		kind   Kind
+		class  uint32
+		fields uint32
+	}
+	reqs := []req{
+		{KindScalar, 1, 0}, {KindScalar, 1, 1}, {KindScalar, 2, 3},
+		{KindRefArray, 3, 0}, {KindRefArray, 3, 5}, {KindDataArray, 4, 10},
+	}
+	hd := New(1 << 10)
+	hb := New(1 << 10)
+	var b AllocBuffer
+	if !hb.CarveBuffer(&b, 2, 256) {
+		t.Fatal("CarveBuffer failed")
+	}
+	for i, q := range reqs {
+		rd, err := hd.Alloc(q.kind, q.class, q.fields)
+		if err != nil {
+			t.Fatalf("req %d: direct alloc: %v", i, err)
+		}
+		rb, ok := b.Alloc(q.kind, q.class, q.fields)
+		if !ok {
+			t.Fatalf("req %d: bump alloc failed", i)
+		}
+		if hd.Header(rd) != hb.Header(rb) {
+			t.Fatalf("req %d: headers differ: %#x vs %#x", i, hd.Header(rd), hb.Header(rb))
+		}
+		if hd.SizeWords(rd) != hb.SizeWords(rb) {
+			t.Fatalf("req %d: sizes differ: %d vs %d", i, hd.SizeWords(rd), hb.SizeWords(rb))
+		}
+	}
+	b.Retire()
+	if hd.LiveWords() != hb.LiveWords() || hd.LiveObjects() != hb.LiveObjects() {
+		t.Fatalf("accounting differs: %d/%d words, %d/%d objects",
+			hd.LiveWords(), hb.LiveWords(), hd.LiveObjects(), hb.LiveObjects())
+	}
+}
+
+// TestBufferEachObjectFrom checks the region-flush walk visits exactly the
+// objects allocated after the given position, in order.
+func TestBufferEachObjectFrom(t *testing.T) {
+	h := New(1 << 10)
+	var b AllocBuffer
+	if !h.CarveBuffer(&b, 2, 128) {
+		t.Fatal("CarveBuffer failed")
+	}
+	var all []Ref
+	for i := 0; i < 6; i++ {
+		r, ok := b.Alloc(KindScalar, 1, uint32(i))
+		if !ok {
+			t.Fatal("bump alloc failed")
+		}
+		all = append(all, r)
+		if i == 2 {
+			// Remember the position after the third object.
+		}
+	}
+	from := uint32(all[3])
+	var got []Ref
+	b.EachObjectFrom(from, func(r Ref) { got = append(got, r) })
+	if len(got) != 3 || got[0] != all[3] || got[2] != all[5] {
+		t.Fatalf("EachObjectFrom visited %v, want %v", got, all[3:])
+	}
+	b.Retire()
+}
+
+// TestBinOccupancyBitmap cross-checks carve's bitmap-driven bin selection
+// against a reference linear scan over randomized free-list states, and
+// checks the bitmap invariant after every operation.
+func TestBinOccupancyBitmap(t *testing.T) {
+	DebugChecks = true
+	defer func() { DebugChecks = false }()
+
+	// linearCarveBin is the pre-bitmap reference: the first non-empty
+	// exact bin at or above lo.
+	linearCarveBin := func(h *Heap, lo int) int {
+		for i := lo; i < numExactBins; i++ {
+			if h.bins[i] != Nil {
+				return i
+			}
+		}
+		return -1
+	}
+	bitmapCarveBin := func(h *Heap, lo int) int {
+		if mask := h.binOcc >> uint(lo); mask != 0 {
+			want := lo
+			for mask&1 == 0 {
+				mask >>= 1
+				want++
+			}
+			return want
+		}
+		return -1
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	h := New(1 << 14)
+	for step := 0; step < 5000; step++ {
+		for lo := 0; lo <= numExactBins; lo++ {
+			if a, b := linearCarveBin(h, lo), bitmapCarveBin(h, lo); a != b {
+				t.Fatalf("step %d: next non-empty bin from %d: linear %d, bitmap %d", step, lo, a, b)
+			}
+		}
+		if rng.Intn(3) == 0 {
+			// Churn: free everything marked-nothing and refill randomly.
+			size := uint32(2 + 2*rng.Intn(8))
+			if _, err := h.Alloc(KindScalar, 1, size-1); err != nil {
+				h.Sweep(SweepOptions{})
+			}
+		} else {
+			if _, err := h.Alloc(KindScalar, 1, uint32(rng.Intn(24))); err != nil {
+				h.Sweep(SweepOptions{})
+			}
+		}
+		if errs := h.CheckFreeLists(); len(errs) > 0 {
+			t.Fatalf("step %d: %v", step, errs[0])
+		}
+	}
+}

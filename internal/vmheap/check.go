@@ -61,6 +61,9 @@ func (h *Heap) CheckFreeLists() []error {
 	}
 	for i, head := range h.bins {
 		check(i, head)
+		if got, want := h.binOcc&(1<<uint(i)) != 0, head != Nil; got != want {
+			errs = append(errs, fmt.Errorf("vmheap: bin %d: occupancy bit %v but list non-empty is %v", i, got, want))
+		}
 	}
 	check(numExactBins, h.largeBin)
 	return errs

@@ -30,6 +30,20 @@ type Heap struct {
 	bins     [numExactBins]Ref
 	largeBin Ref
 
+	// binOcc is the exact-bin occupancy bitmap: bit i is set iff bins[i]
+	// is non-empty, giving carve an O(1) next-non-empty-bin lookup.
+	binOcc uint64
+
+	// activeBuffers counts outstanding bump-pointer allocation buffers
+	// (buffer.go). While any buffer is active the arena is not linearly
+	// parseable, so sweeps and heap walks refuse to run. bufCarves and
+	// bufAllocs count carved buffers and the allocations retired through
+	// them over the heap lifetime, so tests and reports can confirm the
+	// fast path actually engaged.
+	activeBuffers int
+	bufCarves     uint64
+	bufAllocs     uint64
+
 	liveWords  uint64 // words currently occupied by objects (incl. headers)
 	freeWords  uint64 // words currently on free lists (incl. headers)
 	liveObjs   uint64
@@ -168,6 +182,7 @@ func (h *Heap) valid(r Ref) bool {
 // pending lazy sweep is completed first so the walk sees only objects that
 // survive it.
 func (h *Heap) Iterate(fn func(r Ref, header uint64)) {
+	h.AssertNoBuffers("Iterate")
 	h.ensureSwept()
 	addr := uint32(heapBase)
 	end := uint32(len(h.words))

@@ -689,8 +689,12 @@ func (h *Heap) sweepParallel(opts SweepOptions) SweepStats {
 	if ri != -1 {
 		panic("vmheap: parallel sweep merge failed to place every stitched free run")
 	}
+	h.binOcc = 0
 	for b := 0; b < numExactBins; b++ {
 		h.bins[b] = accHead[b]
+		if accHead[b] != Nil {
+			h.binOcc |= 1 << uint(b)
+		}
 	}
 	h.largeBin = accHead[numExactBins]
 

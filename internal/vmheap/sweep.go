@@ -61,6 +61,7 @@ type SweepOptions struct {
 // not merely before Sweep — tracing over stale mark bits is heap
 // corruption — so Sweep panics if one is still outstanding.
 func (h *Heap) Sweep(opts SweepOptions) SweepStats {
+	h.AssertNoBuffers("Sweep")
 	if h.lazy.pending {
 		panic("vmheap: Sweep with a lazy sweep still pending (CompleteSweep must run before the trace)")
 	}

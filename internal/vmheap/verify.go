@@ -38,6 +38,7 @@ type RefFieldsOf interface {
 // sweep is completed first: the invariants above describe a settled heap
 // (a half-swept one legitimately carries stale marks and uncoalesced runs).
 func (h *Heap) Verify(layout RefFieldsOf) []error {
+	h.AssertNoBuffers("Verify")
 	h.ensureSwept()
 	var errs []error
 	fail := func(addr Ref, format string, args ...any) {
