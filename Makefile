@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench sweepbench allocbench difftest fuzz figures casestudies verify
+.PHONY: all build test race bench sweepbench allocbench telemetrybench difftest fuzz figures casestudies verify
 
 all: build test
 
@@ -28,13 +28,19 @@ sweepbench:
 allocbench:
 	go test -run '^$$' -bench 'BenchmarkAllocDirect|BenchmarkAllocBuffered|BenchmarkZeroing' -benchmem ./internal/vmheap
 
+# Telemetry overhead: pseudojbb with telemetry off, ring-only, and
+# streaming NDJSON to a discarded sink (see results/telemetry.txt).
+telemetrybench:
+	go test -run '^$$' -bench BenchmarkTelemetry -benchmem .
+
 # Differential tests: serial vs parallel collections on identical scripts,
 # stop-the-world vs incremental cycles (plus the shadow-model oracle), eager
-# vs parallel vs lazy sweep modes under both collectors, and direct vs
-# buffered allocation across every collector mode.
+# vs parallel vs lazy sweep modes under both collectors, direct vs buffered
+# allocation across every collector mode, and telemetry on vs off
+# (recording must be pure observation — byte-identical heaps).
 difftest:
 	go test -race -run 'TestDifferential|TestIncrementalDifferential|TestOracle' -v ./internal/trace
-	go test -race -run 'TestSweepModesDifferential|TestLazySweep|TestAllocBuffer' -v ./internal/core
+	go test -race -run 'TestSweepModesDifferential|TestLazySweep|TestAllocBuffer|TestTelemetry' -v ./internal/core
 
 # Short coverage-guided fuzz runs: the serial/parallel equivalence, the
 # stop-the-world/incremental equivalence, the eager/parallel/lazy sweep

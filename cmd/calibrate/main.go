@@ -15,6 +15,29 @@ import (
 	"repro/internal/workloads"
 )
 
+// options collects the flag and argument values so validation is testable
+// apart from flag parsing and execution.
+type options struct {
+	iters int
+	names []string
+}
+
+// validate rejects invalid invocations up front — exit code 2 with a
+// message before any measurement runs. -iters 0 would divide by zero in
+// the alloc/iter column, and an unknown workload name used to abort the
+// run midway with earlier rows already printed.
+func validate(o options) error {
+	if o.iters < 1 {
+		return fmt.Errorf("-iters %d: need at least one measured iteration", o.iters)
+	}
+	for _, name := range o.names {
+		if workloads.ByName(name) == nil {
+			return fmt.Errorf("unknown workload %q (want one of %v)", name, workloads.Names())
+		}
+	}
+	return nil
+}
+
 func main() {
 	iters := flag.Int("iters", 3, "iterations to run before measuring")
 	flag.Parse()
@@ -23,16 +46,15 @@ func main() {
 	if len(names) == 0 {
 		names = workloads.Names()
 	}
+	if err := validate(options{iters: *iters, names: names}); err != nil {
+		fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+		os.Exit(2)
+	}
 
 	fmt.Printf("%-12s %12s %14s %12s %12s\n",
 		"workload", "live(words)", "alloc/iter", "declared", "declared/live")
 	for _, name := range names {
-		f := workloads.ByName(name)
-		if f == nil {
-			fmt.Fprintf(os.Stderr, "calibrate: unknown workload %q\n", name)
-			os.Exit(2)
-		}
-		w := f()
+		w := workloads.ByName(name)()
 		rt := core.New(core.Config{HeapWords: 1 << 22, Mode: core.Base})
 		th := rt.MainThread()
 		w.Setup(rt, th)

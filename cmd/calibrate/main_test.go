@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func TestValidateAccepts(t *testing.T) {
+	cases := []options{
+		{iters: 1},
+		{iters: 3, names: workloads.Names()},
+		{iters: 10, names: workloads.Names()[:1]},
+	}
+	for i, o := range cases {
+		if err := validate(o); err != nil {
+			t.Errorf("case %d: validate(%+v) = %v, want nil", i, o, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		o    options
+		want string
+	}{
+		// -iters 0 used to reach an integer divide-by-zero computing the
+		// alloc/iter column; negative values are equally meaningless.
+		{options{iters: 0}, "-iters"},
+		{options{iters: -3}, "-iters"},
+		// An unknown name used to abort midway through the run, after
+		// earlier workloads had already printed their rows.
+		{options{iters: 3, names: []string{"no-such-workload"}}, "unknown workload"},
+		{options{iters: 3, names: append(workloads.Names(), "nope")}, "unknown workload"},
+	}
+	for i, c := range cases {
+		err := validate(c.o)
+		if err == nil {
+			t.Errorf("case %d: validate(%+v) = nil, want error containing %q", i, c.o, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d: validate(%+v) = %q, want it to contain %q", i, c.o, err, c.want)
+		}
+	}
+}

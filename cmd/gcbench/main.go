@@ -21,6 +21,9 @@
 // buffers of N words (the published numbers use the default direct
 // free-list allocation); -fig alloc instead measures the direct allocator
 // against several buffer sizes side by side and ignores the flag.
+// -events FILE enables telemetry on every measured runtime and streams its
+// NDJSON event log there (cmd/gcmon summarizes it); the published numbers
+// run with telemetry disabled.
 //
 // Methodology follows the paper: fixed heaps at roughly twice each
 // benchmark's minimum live size, warmup iterations discarded, repeated
@@ -32,10 +35,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
 
 	"repro/internal/harness"
 	"repro/internal/vmheap"
 )
+
+// figNames is the single source of truth for the accepted -fig values: the
+// usage string, validate's accepted set, and its error message all derive
+// from it (TestFigUsageMatchesValidate keeps them from drifting).
+var figNames = []string{"2", "3", "4", "5", "all", "trace", "pause", "sweep", "alloc"}
+
+// figList renders figNames as an English list ("2, 3, ..., or alloc").
+func figList() string {
+	last := len(figNames) - 1
+	return strings.Join(figNames[:last], ", ") + ", or " + figNames[last]
+}
+
+// figUsage is the -fig flag's usage string.
+func figUsage() string { return "figure to regenerate: " + figList() }
 
 // options collects the flag values so validation is testable apart from
 // flag parsing and execution.
@@ -49,15 +68,14 @@ type options struct {
 	sweepWorkers int
 	lazySweep    bool
 	allocBuf     int
+	events       string
 }
 
 // validate rejects option combinations that would otherwise fail deep
 // inside a measurement run (or, worse, silently measure the wrong thing).
 func validate(o options) error {
-	switch o.fig {
-	case "2", "3", "4", "5", "all", "trace", "pause", "sweep", "alloc":
-	default:
-		return fmt.Errorf("unknown figure %q (want 2, 3, 4, 5, all, trace, pause, sweep, or alloc)", o.fig)
+	if !slices.Contains(figNames, o.fig) {
+		return fmt.Errorf("unknown figure %q (want %s)", o.fig, figList())
 	}
 	if o.trials < 1 {
 		return fmt.Errorf("-trials %d: need at least one trial", o.trials)
@@ -98,11 +116,14 @@ func validate(o options) error {
 	if o.allocBuf > 0 && (o.fig == "sweep" || o.fig == "pause" || o.fig == "trace" || o.fig == "alloc") {
 		return fmt.Errorf("-allocbuf selects a mode for the paper figures; -fig %s configures its own allocation modes", o.fig)
 	}
+	if o.events != "" && (o.fig == "sweep" || o.fig == "pause" || o.fig == "alloc") {
+		return fmt.Errorf("-events streams telemetry from the paper-figure runs; -fig %s configures its own runtimes", o.fig)
+	}
 	return nil
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, all, trace, or pause")
+	fig := flag.String("fig", "all", figUsage())
 	trials := flag.Int("trials", harness.DefaultRunConfig.Trials, "trials per configuration")
 	measure := flag.Int("measure", harness.DefaultRunConfig.Measure, "timed iterations per trial")
 	warmup := flag.Int("warmup", harness.DefaultRunConfig.Warmup, "warmup iterations per trial")
@@ -111,6 +132,7 @@ func main() {
 	sweepWorkers := flag.Int("sweepworkers", 1, "sweep-phase workers for the paper figures (1 = eager serial, as published)")
 	lazySweep := flag.Bool("lazysweep", false, "defer reclamation to allocation time for the paper figures")
 	allocBuf := flag.Int("allocbuf", 0, "per-thread allocation buffer words for the paper figures (0 = direct free-list allocation, as published)")
+	events := flag.String("events", "", "write telemetry NDJSON events from the measured runtimes to this file (paper figures and -fig trace)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	csvPath := flag.String("csv", "", "also write raw measurements to this CSV file")
 	flag.Parse()
@@ -125,6 +147,7 @@ func main() {
 		sweepWorkers: *sweepWorkers,
 		lazySweep:    *lazySweep,
 		allocBuf:     *allocBuf,
+		events:       *events,
 	}
 	if err := validate(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
@@ -135,6 +158,15 @@ func main() {
 		Warmup: *warmup, Measure: *measure, Trials: *trials,
 		TraceWorkers: *workers, SweepWorkers: *sweepWorkers, LazySweep: *lazySweep,
 		AllocBufWords: *allocBuf,
+	}
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		rc.EventSink = f
 	}
 	progress := func(name string) {
 		if !*quiet {

@@ -18,6 +18,37 @@ func defaults() options {
 	}
 }
 
+// TestFigUsageMatchesValidate pins the -fig usage string to validate's
+// accepted set: both derive from figNames, and this test fails if either
+// ever hardcodes its own list again (the usage string once advertised only
+// "2, 3, 4, 5, all, trace, or pause" while validate also took sweep and
+// alloc).
+func TestFigUsageMatchesValidate(t *testing.T) {
+	usage := figUsage()
+	for _, name := range figNames {
+		if !strings.Contains(usage, name) {
+			t.Errorf("usage string %q does not mention accepted figure %q", usage, name)
+		}
+		o := defaults()
+		o.fig = name
+		if err := validate(o); err != nil {
+			t.Errorf("figure %q is advertised in the usage string but rejected: %v", name, err)
+		}
+	}
+	// The error message for an unknown figure lists the same set.
+	o := defaults()
+	o.fig = "nope"
+	err := validate(o)
+	if err == nil {
+		t.Fatal("validate accepted an unknown figure")
+	}
+	for _, name := range figNames {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-figure error %q does not list accepted figure %q", err, name)
+		}
+	}
+}
+
 func TestValidateAccepts(t *testing.T) {
 	cases := []func(*options){
 		func(o *options) {},
@@ -32,6 +63,8 @@ func TestValidateAccepts(t *testing.T) {
 		func(o *options) { o.fig = "alloc" },
 		func(o *options) { o.fig = "2"; o.allocBuf = 1024 },
 		func(o *options) { o.fig = "all"; o.allocBuf = 256; o.lazySweep = true },
+		func(o *options) { o.events = "events.ndjson" },
+		func(o *options) { o.fig = "trace"; o.workers = 4; o.events = "ev.ndjson" },
 	}
 	for i, mut := range cases {
 		o := defaults()
@@ -75,6 +108,11 @@ func TestValidateRejects(t *testing.T) {
 		// stray -allocbuf would be silently ignored.
 		{func(o *options) { o.fig = "alloc"; o.allocBuf = 512 }, "configures its own"},
 		{func(o *options) { o.fig = "sweep"; o.allocBuf = 512 }, "configures its own"},
+		// The side-by-side reports build their own runtimes; an -events file
+		// would be created and then silently stay empty.
+		{func(o *options) { o.fig = "pause"; o.events = "ev.ndjson" }, "configures its own"},
+		{func(o *options) { o.fig = "sweep"; o.events = "ev.ndjson" }, "configures its own"},
+		{func(o *options) { o.fig = "alloc"; o.events = "ev.ndjson" }, "configures its own"},
 	}
 	for i, c := range cases {
 		o := defaults()

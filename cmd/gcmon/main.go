@@ -1,0 +1,158 @@
+// Command gcmon summarizes a telemetry NDJSON event stream — the file
+// written by gcbench -events, or any sink attached through
+// core.Config.Telemetry — as a phase/pause table with exact offline
+// quantiles:
+//
+//	gcmon events.ndjson              one-shot summary of the whole file
+//	gcmon -follow events.ndjson      re-read and re-print as the file grows
+//	gcmon -follow -interval 500ms events.ndjson
+//
+// In -follow mode gcmon polls the file and reprints the cumulative summary
+// whenever new events arrive; a truncated file (a restarted run) resets the
+// tail. Interrupt to stop. The counts printed are exactly the counts in the
+// stream: one line per event, no sampling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// options collects the flag and argument values so validation is testable
+// apart from flag parsing and execution.
+type options struct {
+	follow   bool
+	interval time.Duration
+	args     []string
+}
+
+// validate rejects invalid invocations up front — exit code 2 with a
+// message, per the tooling contract.
+func validate(o options) error {
+	if len(o.args) != 1 {
+		return fmt.Errorf("usage: gcmon [-follow] [-interval d] events.ndjson")
+	}
+	if o.interval <= 0 {
+		return fmt.Errorf("-interval %v: must be positive", o.interval)
+	}
+	return nil
+}
+
+func main() {
+	follow := flag.Bool("follow", false, "keep polling the file and reprint the summary as events arrive")
+	interval := flag.Duration("interval", time.Second, "poll interval for -follow")
+	flag.Parse()
+
+	opts := options{follow: *follow, interval: *interval, args: flag.Args()}
+	if err := validate(opts); err != nil {
+		fmt.Fprintf(os.Stderr, "gcmon: %v\n", err)
+		os.Exit(2)
+	}
+
+	if !*follow {
+		if err := summarizeOnce(os.Stdout, flag.Arg(0)); err != nil {
+			fmt.Fprintf(os.Stderr, "gcmon: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := followFile(os.Stdout, flag.Arg(0), *interval); err != nil {
+		fmt.Fprintf(os.Stderr, "gcmon: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// summarizeOnce reads the whole event file and prints one summary table.
+func summarizeOnce(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := telemetry.ReadEvents(f)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, telemetry.Summarize(events).Format())
+	return err
+}
+
+// tailState incrementally consumes an NDJSON stream across polls: complete
+// lines are decoded as they appear; a partial final line is held back until
+// its remainder is written.
+type tailState struct {
+	events  []telemetry.FileEvent
+	pending []byte
+	offset  int64
+}
+
+// consume decodes the complete lines in buf (possibly prefixed by a held
+// partial line) and returns how many new events appeared.
+func (t *tailState) consume(buf []byte) (int, error) {
+	data := append(t.pending, buf...)
+	added := 0
+	for {
+		nl := strings.IndexByte(string(data), '\n')
+		if nl < 0 {
+			break
+		}
+		line := strings.TrimSpace(string(data[:nl]))
+		data = data[nl+1:]
+		if line == "" {
+			continue
+		}
+		evs, err := telemetry.ReadEvents(strings.NewReader(line))
+		if err != nil {
+			return added, err
+		}
+		t.events = append(t.events, evs...)
+		added += len(evs)
+	}
+	t.pending = data
+	return added, nil
+}
+
+// followFile polls path forever, reprinting the cumulative summary whenever
+// new events arrive. Truncation (a restarted producer) resets the tail.
+func followFile(w io.Writer, path string, interval time.Duration) error {
+	var st tailState
+	first := true
+	for {
+		fi, err := os.Stat(path)
+		if err == nil && fi.Size() < st.offset {
+			// Truncated: the producer restarted. Start over.
+			st = tailState{}
+			first = true
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Seek(st.offset, io.SeekStart); err != nil {
+			f.Close()
+			return err
+		}
+		buf, err := io.ReadAll(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		st.offset += int64(len(buf))
+		added, err := st.consume(buf)
+		if err != nil {
+			return err
+		}
+		if added > 0 || first {
+			fmt.Fprintf(w, "-- %s (%d events) --\n", time.Now().Format(time.TimeOnly), len(st.events))
+			io.WriteString(w, telemetry.Summarize(st.events).Format())
+			first = false
+		}
+		time.Sleep(interval)
+	}
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+func TestValidateAccepts(t *testing.T) {
+	cases := []options{
+		{interval: time.Second, args: []string{"ev.ndjson"}},
+		{follow: true, interval: 100 * time.Millisecond, args: []string{"ev.ndjson"}},
+	}
+	for i, o := range cases {
+		if err := validate(o); err != nil {
+			t.Errorf("case %d: validate(%+v) = %v, want nil", i, o, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		o    options
+		want string
+	}{
+		{options{interval: time.Second}, "usage:"},
+		{options{interval: time.Second, args: []string{"a", "b"}}, "usage:"},
+		{options{follow: true, interval: 0, args: []string{"ev"}}, "-interval"},
+		{options{follow: true, interval: -time.Second, args: []string{"ev"}}, "-interval"},
+	}
+	for i, c := range cases {
+		err := validate(c.o)
+		if err == nil {
+			t.Errorf("case %d: validate(%+v) = nil, want error containing %q", i, c.o, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d: validate(%+v) = %q, want it to contain %q", i, c.o, err, c.want)
+		}
+	}
+}
+
+// TestSummaryReproducesPhaseCounts is the acceptance check: the summary
+// gcmon derives from the NDJSON file reports exactly the phase counts,
+// cycle count, and violation tallies the live recorder counted.
+func TestSummaryReproducesPhaseCounts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.ndjson")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := core.New(core.Config{
+		HeapWords: 1 << 12,
+		Mode:      core.Infrastructure,
+		Telemetry: &telemetry.Config{Sink: f},
+	})
+	node := rt.DefineClass("Node")
+	th := rt.MainThread()
+	g := rt.AddGlobal("leak")
+	dead := th.New(node)
+	if err := rt.AssertDead(dead); err != nil {
+		t.Fatal(err)
+	}
+	g.Set(dead)
+	for i := 0; i < 4; i++ {
+		if err := rt.GC(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := rt.Metrics()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := telemetry.ReadEvents(rf)
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := telemetry.Summarize(events)
+
+	if sum.Cycles != m.Cycles {
+		t.Errorf("gcmon cycles %d != recorder cycles %d", sum.Cycles, m.Cycles)
+	}
+	if sum.Events != m.Events {
+		t.Errorf("gcmon events %d != recorder events %d", sum.Events, m.Events)
+	}
+	if sum.Pause.Count != m.Pause.Count {
+		t.Errorf("gcmon pauses %d != recorder pauses %d", sum.Pause.Count, m.Pause.Count)
+	}
+	byName := map[string]uint64{}
+	for _, p := range sum.Phases {
+		byName[p.Phase] = p.Count
+	}
+	for _, p := range m.Phases {
+		if p.Count == 0 {
+			continue
+		}
+		if byName[p.Phase] != p.Count {
+			t.Errorf("gcmon phase %s count %d != recorder %d", p.Phase, byName[p.Phase], p.Count)
+		}
+	}
+	var fileViolations uint64
+	for _, n := range sum.Violations {
+		fileViolations += n
+	}
+	if fileViolations != m.Violations {
+		t.Errorf("gcmon violations %d != recorder %d", fileViolations, m.Violations)
+	}
+
+	// The one-shot path prints the same table Summarize formats.
+	var out strings.Builder
+	if err := summarizeOnce(&out, path); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != sum.Format() {
+		t.Error("summarizeOnce output differs from Summarize().Format()")
+	}
+}
+
+// TestTailStateIncrementalConsume feeds a stream in arbitrary chunk
+// boundaries — including mid-line splits — and checks the tail decodes
+// exactly the complete lines.
+func TestTailStateIncrementalConsume(t *testing.T) {
+	lines := `{"seq":1,"ns":10,"ev":"cycle_begin","cycle":1}` + "\n" +
+		`{"seq":2,"ns":20,"ev":"phase_end","phase":"mark","cycle":1,"dur_ns":5}` + "\n" +
+		`{"seq":3,"ns":30,"ev":"pause","cycle":1,"dur_ns":7}` + "\n"
+	for _, chunk := range []int{1, 3, 7, len(lines)} {
+		var st tailState
+		total := 0
+		for off := 0; off < len(lines); off += chunk {
+			end := off + chunk
+			if end > len(lines) {
+				end = len(lines)
+			}
+			added, err := st.consume([]byte(lines[off:end]))
+			if err != nil {
+				t.Fatalf("chunk %d: %v", chunk, err)
+			}
+			total += added
+		}
+		if total != 3 || len(st.events) != 3 {
+			t.Errorf("chunk %d: decoded %d events (added %d), want 3", chunk, len(st.events), total)
+		}
+		if len(st.pending) != 0 {
+			t.Errorf("chunk %d: %d bytes stuck in pending", chunk, len(st.pending))
+		}
+		sum := telemetry.Summarize(st.events)
+		if sum.Cycles != 1 || sum.Pause.Count != 1 {
+			t.Errorf("chunk %d: bad summary %+v", chunk, sum)
+		}
+	}
+}

@@ -23,11 +23,52 @@ import (
 	"repro/internal/swapleak"
 )
 
+// options collects the flag and argument values so validation is testable
+// apart from flag parsing and execution.
+type options struct {
+	fixed bool
+	save  string
+	load  string
+	args  []string
+}
+
+// validate rejects invalid invocations up front — exit code 2 with a
+// message, never a panic mid-run or a silently ignored flag.
+func validate(o options) error {
+	if o.load != "" {
+		if len(o.args) != 0 {
+			return fmt.Errorf("-load %s replaces running a case study; drop the %q argument", o.load, o.args[0])
+		}
+		if o.fixed {
+			return fmt.Errorf("-fixed selects the variant to run; it does not apply to a loaded snapshot")
+		}
+		if o.save != "" {
+			return fmt.Errorf("-save records a fresh run; it does not apply to a loaded snapshot")
+		}
+		return nil
+	}
+	if len(o.args) != 1 {
+		return fmt.Errorf("usage: heapinfo [-fixed] [-save file] jbb|db|swapleak, or heapinfo -load file")
+	}
+	switch o.args[0] {
+	case "jbb", "db", "swapleak":
+	default:
+		return fmt.Errorf("unknown case study %q (want jbb, db, or swapleak)", o.args[0])
+	}
+	return nil
+}
+
 func main() {
 	fixed := flag.Bool("fixed", false, "run the repaired variant")
 	save := flag.String("save", "", "write a heap snapshot to this file after the run")
 	load := flag.String("load", "", "histogram a saved snapshot instead of running a case study")
 	flag.Parse()
+
+	opts := options{fixed: *fixed, save: *save, load: *load, args: flag.Args()}
+	if err := validate(opts); err != nil {
+		fmt.Fprintf(os.Stderr, "heapinfo: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *load != "" {
 		f, err := os.Open(*load)
@@ -43,11 +84,6 @@ func main() {
 		}
 		histogram(rt)
 		return
-	}
-
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: heapinfo [-fixed] [-save file] jbb|db|swapleak, or heapinfo -load file")
-		os.Exit(2)
 	}
 
 	rt := core.New(core.Config{HeapWords: 1 << 20, Mode: core.Infrastructure})
@@ -67,9 +103,6 @@ func main() {
 		for i := 0; i < 4; i++ {
 			p.RunSwapLoop()
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "heapinfo: unknown case study %q\n", flag.Arg(0))
-		os.Exit(2)
 	}
 
 	if err := rt.GC(); err != nil {

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateAccepts(t *testing.T) {
+	cases := []options{
+		{args: []string{"jbb"}},
+		{args: []string{"db"}, fixed: true},
+		{args: []string{"swapleak"}, save: "snap.bin"},
+		{args: []string{"jbb"}, fixed: true, save: "snap.bin"},
+		{load: "snap.bin"},
+	}
+	for i, o := range cases {
+		if err := validate(o); err != nil {
+			t.Errorf("case %d: validate(%+v) = %v, want nil", i, o, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		o    options
+		want string
+	}{
+		{options{}, "usage:"},
+		{options{args: []string{"jbb", "db"}}, "usage:"},
+		{options{args: []string{"pmd"}}, "unknown case study"},
+		// -load replaces the run entirely; combining it with run-shaped
+		// flags or a study name used to silently ignore them.
+		{options{load: "s.bin", args: []string{"jbb"}}, "drop the"},
+		{options{load: "s.bin", fixed: true}, "-fixed"},
+		{options{load: "s.bin", save: "t.bin"}, "-save"},
+	}
+	for i, c := range cases {
+		err := validate(c.o)
+		if err == nil {
+			t.Errorf("case %d: validate(%+v) = nil, want error containing %q", i, c.o, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d: validate(%+v) = %q, want it to contain %q", i, c.o, err, c.want)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/minidb"
 	"repro/internal/report"
 	"repro/internal/swapleak"
+	"repro/internal/vmheap"
 )
 
 var (
@@ -33,15 +34,40 @@ var (
 	dotFile   = flag.String("dot", "", "write a Graphviz graph of the first violation to this file")
 )
 
+// options collects the flag and argument values so validation is testable
+// apart from flag parsing and execution.
+type options struct {
+	heapWords int
+	args      []string
+}
+
+// validate rejects invalid invocations up front — exit code 2 with a
+// message, never a panic mid-run (an undersized -heap would otherwise
+// panic inside core.New after the banner printed).
+func validate(o options) error {
+	if len(o.args) != 1 {
+		return fmt.Errorf("usage: leakcheck [-fixed] [-heap words] jbb|db|lusearch|swapleak")
+	}
+	switch o.args[0] {
+	case "jbb", "db", "lusearch", "swapleak":
+	default:
+		return fmt.Errorf("unknown case study %q (want jbb, db, lusearch, or swapleak)", o.args[0])
+	}
+	if o.heapWords < vmheap.MinHeapWords {
+		return fmt.Errorf("-heap %d: below the minimum heap of %d words", o.heapWords, vmheap.MinHeapWords)
+	}
+	return nil
+}
+
 func main() {
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: leakcheck [-fixed] jbb|db|lusearch|swapleak")
+	opts := options{heapWords: *heapWords, args: flag.Args()}
+	if err := validate(opts); err != nil {
+		fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
 		os.Exit(2)
 	}
 
-	study := flag.Arg(0)
-	switch study {
+	switch flag.Arg(0) {
 	case "jbb":
 		runJBB()
 	case "db":
@@ -50,9 +76,6 @@ func main() {
 		runLusearch()
 	case "swapleak":
 		runSwapleak()
-	default:
-		fmt.Fprintf(os.Stderr, "leakcheck: unknown case study %q\n", study)
-		os.Exit(2)
 	}
 }
 

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vmheap"
+)
+
+func defaults() options {
+	return options{heapWords: 1 << 20, args: []string{"jbb"}}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	cases := []func(*options){
+		func(o *options) {},
+		func(o *options) { o.args = []string{"db"} },
+		func(o *options) { o.args = []string{"lusearch"} },
+		func(o *options) { o.args = []string{"swapleak"} },
+		func(o *options) { o.heapWords = vmheap.MinHeapWords },
+	}
+	for i, mut := range cases {
+		o := defaults()
+		mut(&o)
+		if err := validate(o); err != nil {
+			t.Errorf("case %d: validate(%+v) = %v, want nil", i, o, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		mut  func(*options)
+		want string
+	}{
+		{func(o *options) { o.args = nil }, "usage:"},
+		{func(o *options) { o.args = []string{"jbb", "db"} }, "usage:"},
+		{func(o *options) { o.args = []string{"pmd"} }, "unknown case study"},
+		// An undersized heap used to panic inside core.New after the
+		// scenario banner had already printed.
+		{func(o *options) { o.heapWords = 0 }, "-heap"},
+		{func(o *options) { o.heapWords = vmheap.MinHeapWords - 1 }, "below the minimum"},
+		{func(o *options) { o.heapWords = -1 }, "-heap"},
+	}
+	for i, c := range cases {
+		o := defaults()
+		c.mut(&o)
+		err := validate(o)
+		if err == nil {
+			t.Errorf("case %d: validate(%+v) = nil, want error containing %q", i, o, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d: validate(%+v) = %q, want it to contain %q", i, o, err, c.want)
+		}
+	}
+}

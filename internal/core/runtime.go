@@ -10,6 +10,7 @@ import (
 	"repro/internal/gc"
 	"repro/internal/report"
 	"repro/internal/roots"
+	"repro/internal/telemetry"
 	"repro/internal/threads"
 	"repro/internal/vmheap"
 )
@@ -134,6 +135,14 @@ type Config struct {
 	// all published figures use it) or at least vmheap.MinBufferWords, and
 	// smaller than the heap.
 	AllocBuffers int
+	// Telemetry, when non-nil, attaches an event recorder to the runtime:
+	// the collector, tracer, sweeper, and allocator emit phase spans,
+	// pauses, buffer carve/retire events, and assertion violations into a
+	// fixed-size ring (and, when Telemetry.Sink is set, an NDJSON stream).
+	// Snapshots are available via Runtime.Metrics. nil — the default, and
+	// the published configuration — compiles every emit point down to one
+	// predictable nil-check branch.
+	Telemetry *telemetry.Config
 }
 
 // Runtime is a managed heap plus its collector and assertion engine.
@@ -151,6 +160,7 @@ type Runtime struct {
 	rootSrc roots.Multi
 
 	recorder *report.Recorder
+	tele     *telemetry.Recorder // nil unless Config.Telemetry was set
 	main     *Thread
 
 	// Allocation-buffer mode (Config.AllocBuffers). allocBufWords is the
@@ -216,10 +226,24 @@ func New(cfg Config) *Runtime {
 	rt.rootSrc = roots.Multi{rt.globals, rt.threads}
 	src := rt.rootSrc
 
+	if cfg.Telemetry != nil {
+		rt.tele = telemetry.New(*cfg.Telemetry)
+		// Violation log writers report failed writes into the telemetry
+		// counters instead of dropping them on the floor.
+		wireWriteErrors(cfg.Handler, rt.tele)
+	}
+
 	if cfg.Mode == Infrastructure {
-		handler := report.Handler(rt.recorder)
+		handlers := report.Tee{rt.recorder}
+		if rt.tele != nil {
+			handlers = append(handlers, teleHandler{rt.tele})
+		}
 		if cfg.Handler != nil {
-			handler = report.Tee{rt.recorder, cfg.Handler}
+			handlers = append(handlers, cfg.Handler)
+		}
+		handler := report.Handler(handlers)
+		if len(handlers) == 1 {
+			handler = rt.recorder
 		}
 		rt.engine = assertions.New(rt.heap, rt.reg, rt.threads, handler)
 	}
@@ -245,6 +269,8 @@ func New(cfg Config) *Runtime {
 		panic(fmt.Sprintf("core: unknown collector kind %d", cfg.Collector))
 	}
 	rt.heap.SetSweepMode(cfg.SweepWorkers, cfg.LazySweep)
+	rt.heap.SetTelemetry(rt.tele)
+	rt.collector.SetTelemetry(rt.tele)
 	rt.collector.Stats().RecordPauses = cfg.RecordPauses
 	rt.allocBufWords = uint32(cfg.AllocBuffers)
 	rt.incremental = cfg.IncrementalBudget > 0

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/vmheap"
+)
+
+func TestMetricsDisabledIsZero(t *testing.T) {
+	rt := newRT(t, 1<<12)
+	if rt.Telemetry() != nil {
+		t.Fatal("Telemetry() should be nil when Config.Telemetry is unset")
+	}
+	node := rt.DefineClass("Node")
+	rt.MainThread().New(node)
+	if err := rt.GC(); err != nil {
+		t.Fatal(err)
+	}
+	m := rt.Metrics()
+	if m.Events != 0 || m.Cycles != 0 || len(m.Phases) != 0 {
+		t.Errorf("disabled runtime leaked metrics: %+v", m)
+	}
+}
+
+func TestTelemetryFullCollectionFlow(t *testing.T) {
+	var sink bytes.Buffer
+	rt := New(Config{
+		HeapWords: 1 << 12,
+		Mode:      Infrastructure,
+		Telemetry: &telemetry.Config{Sink: &sink},
+	})
+	node := rt.DefineClass("Node", RefField("next"))
+	th := rt.MainThread()
+	g := rt.AddGlobal("keep")
+	g.Set(th.New(node))
+
+	dead := th.New(node)
+	if err := rt.AssertDead(dead); err != nil {
+		t.Fatal(err)
+	}
+	g2 := rt.AddGlobal("leak")
+	g2.Set(dead) // violates assert-dead
+
+	const cycles = 3
+	for i := 0; i < cycles; i++ {
+		if err := rt.GC(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := rt.Metrics()
+	if m.Cycles != cycles {
+		t.Errorf("Cycles = %d, want %d", m.Cycles, cycles)
+	}
+	if m.Pause.Count != cycles {
+		t.Errorf("Pause.Count = %d, want %d", m.Pause.Count, cycles)
+	}
+	if m.Violations != cycles {
+		t.Errorf("Violations = %d, want %d (one assert-dead hit per cycle)", m.Violations, cycles)
+	}
+	var deadHits uint64
+	for _, vc := range m.ViolationsByKind {
+		if vc.Kind == "assert-dead" {
+			deadHits = vc.Count
+		}
+	}
+	if deadHits != cycles {
+		t.Errorf("ViolationsByKind[assert-dead] = %d, want %d", deadHits, cycles)
+	}
+	// Every cycle runs exactly one serial infrastructure mark and one sweep.
+	var mark, sweep *telemetry.PhaseSummary
+	for i := range m.Phases {
+		switch m.Phases[i].Phase {
+		case "mark":
+			mark = &m.Phases[i]
+		case "sweep":
+			sweep = &m.Phases[i]
+		}
+	}
+	if mark == nil || mark.Count != cycles {
+		t.Errorf("mark phase summary = %+v, want count %d", mark, cycles)
+	}
+	if sweep == nil || sweep.Count != cycles {
+		t.Errorf("sweep phase summary = %+v, want count %d", sweep, cycles)
+	}
+
+	// The NDJSON stream round-trips to the same counts.
+	evs, err := telemetry.ReadEvents(strings.NewReader(sink.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := telemetry.Summarize(evs)
+	if sum.Cycles != cycles {
+		t.Errorf("NDJSON Cycles = %d, want %d", sum.Cycles, cycles)
+	}
+	if sum.Violations["assert-dead"] != cycles {
+		t.Errorf("NDJSON assert-dead = %d, want %d", sum.Violations["assert-dead"], cycles)
+	}
+	if uint64(len(evs)) != m.Events {
+		t.Errorf("NDJSON carried %d events, recorder counted %d", len(evs), m.Events)
+	}
+}
+
+func TestTelemetryBufferCarveRetire(t *testing.T) {
+	rt := New(Config{
+		HeapWords:    1 << 14,
+		Mode:         Infrastructure,
+		AllocBuffers: vmheap.MinBufferWords,
+		Telemetry:    &telemetry.Config{},
+	})
+	node := rt.DefineClass("Node")
+	th := rt.MainThread()
+	for i := 0; i < 200; i++ {
+		th.New(node)
+	}
+	if err := rt.GC(); err != nil { // flushes (retires) the active buffer
+		t.Fatal(err)
+	}
+	m := rt.Metrics()
+	if m.Carves == 0 {
+		t.Fatal("no carve events recorded under AllocBuffers")
+	}
+	if m.Retires != m.Carves {
+		t.Errorf("Retires = %d, Carves = %d; every carve is retired by GC", m.Retires, m.Carves)
+	}
+	st := rt.Stats()
+	if m.Carves != st.Heap.BufferCarves {
+		t.Errorf("telemetry Carves = %d, heap BufferCarves = %d", m.Carves, st.Heap.BufferCarves)
+	}
+	if m.UsedWords+m.TailWords != m.CarveWords {
+		t.Errorf("used %d + tail %d != carved %d", m.UsedWords, m.TailWords, m.CarveWords)
+	}
+}
+
+func TestTelemetryIncrementalPhases(t *testing.T) {
+	rt := New(Config{
+		HeapWords:         1 << 13,
+		Mode:              Infrastructure,
+		IncrementalBudget: 8,
+		Telemetry:         &telemetry.Config{},
+	})
+	node := rt.DefineClass("Node", RefField("next"))
+	next := node.MustFieldIndex("next")
+	th := rt.MainThread()
+	g := rt.AddGlobal("list")
+	head := th.New(node)
+	g.Set(head)
+	for i := 0; i < 100; i++ {
+		n := th.New(node)
+		rt.SetRef(n, next, g.Get())
+		g.Set(n)
+	}
+
+	if err := rt.StartGC(); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		done, err := rt.GCStep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+
+	m := rt.Metrics()
+	want := map[string]bool{"inc_roots": false, "inc_slice": false, "inc_finish": false}
+	for _, p := range m.Phases {
+		if _, ok := want[p.Phase]; ok && p.Count > 0 {
+			want[p.Phase] = true
+		}
+	}
+	for phase, seen := range want {
+		if !seen {
+			t.Errorf("no %s span recorded over an incremental cycle", phase)
+		}
+	}
+	if m.Cycles != 1 {
+		t.Errorf("Cycles = %d, want 1", m.Cycles)
+	}
+	if m.Pause.Count < 3 {
+		t.Errorf("Pause.Count = %d, want >= 3 (roots + >=1 slice + finish)", m.Pause.Count)
+	}
+}
+
+func TestTelemetryGenerationalMinor(t *testing.T) {
+	rt := New(Config{
+		HeapWords: 1 << 13,
+		Collector: Generational,
+		Mode:      Infrastructure,
+		Telemetry: &telemetry.Config{},
+	})
+	node := rt.DefineClass("Node")
+	th := rt.MainThread()
+	th.New(node)
+	if err := rt.Collect(); err != nil { // minor
+		t.Fatal(err)
+	}
+	m := rt.Metrics()
+	found := false
+	for _, p := range m.Phases {
+		if p.Phase == "minor_mark" && p.Count >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no minor_mark span after a minor collection")
+	}
+	if m.Cycles == 0 {
+		t.Error("minor collection did not begin a telemetry cycle")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/classes"
 	"repro/internal/report"
 	"repro/internal/roots"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vmheap"
 )
@@ -188,6 +189,9 @@ type Collector interface {
 	Stats() *Stats
 	// Name identifies the collector in harness output.
 	Name() string
+	// SetTelemetry attaches a telemetry recorder to the collector and its
+	// tracer; nil (the default) disables all emission.
+	SetTelemetry(rec *telemetry.Recorder)
 
 	// Incremental driving (no-ops unless the collector was configured with
 	// an IncrementalBudget > 0). StartFull begins an incremental full
@@ -238,6 +242,10 @@ type MarkSweep struct {
 	IncrementalBudget int
 
 	inc incCycle
+
+	// tele, when non-nil, receives cycle/pause events (the tracer and heap
+	// carry their own references for the phase spans).
+	tele *telemetry.Recorder
 }
 
 // NewMarkSweep creates the collector. engine must be nil exactly when mode
@@ -261,6 +269,12 @@ func (c *MarkSweep) Name() string { return "MarkSweep" }
 // Stats implements Collector.
 func (c *MarkSweep) Stats() *Stats { return &c.stats }
 
+// SetTelemetry implements Collector.
+func (c *MarkSweep) SetTelemetry(rec *telemetry.Recorder) {
+	c.tele = rec
+	c.tracer.SetTelemetry(rec)
+}
+
 // WriteBarrier is a no-op for a non-generational collector.
 func (c *MarkSweep) WriteBarrier(vmheap.Ref) {}
 
@@ -275,6 +289,7 @@ func (c *MarkSweep) incParts() incShared {
 		stats:  &c.stats,
 		st:     &c.inc,
 		budget: c.IncrementalBudget,
+		tele:   c.tele,
 		finishSweep: func(clear uint64, onFree func(vmheap.Ref, uint64)) vmheap.SweepStats {
 			return c.heap.Sweep(vmheap.SweepOptions{ClearFlags: clear, OnFree: onFree})
 		},
@@ -367,6 +382,7 @@ func (c *MarkSweep) CollectFull() error {
 		return c.incParts().finish()
 	}
 	c.heap.AssertNoBuffers("full collection")
+	c.tele.CycleBegin()
 	start := time.Now()
 	// A lazy sweep still pending from the previous cycle must finish before
 	// this trace: its unswept ranges carry stale mark bits and uninstalled
@@ -402,6 +418,7 @@ func (c *MarkSweep) CollectFull() error {
 	})
 
 	elapsed := time.Since(start)
+	c.tele.Pause(elapsed)
 	c.stats.Collections++
 	c.stats.FullCollections++
 	c.stats.GCTime += elapsed

@@ -7,6 +7,7 @@ import (
 	"repro/internal/classes"
 	"repro/internal/report"
 	"repro/internal/roots"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vmheap"
 )
@@ -56,6 +57,10 @@ type Generational struct {
 	inc incCycle
 
 	minorsSinceMajor int
+
+	// tele, when non-nil, receives cycle/pause events (the tracer and heap
+	// carry their own references for the phase spans).
+	tele *telemetry.Recorder
 }
 
 // NewGenerational creates the collector. engine must be nil exactly when
@@ -80,6 +85,12 @@ func (c *Generational) Name() string { return "Generational" }
 
 // Stats implements Collector.
 func (c *Generational) Stats() *Stats { return &c.stats }
+
+// SetTelemetry implements Collector.
+func (c *Generational) SetTelemetry(rec *telemetry.Recorder) {
+	c.tele = rec
+	c.tracer.SetTelemetry(rec)
+}
 
 // WriteBarrier records a mature object into the remembered set the first
 // time a reference is stored into it. Object-granularity remembering is
@@ -117,6 +128,7 @@ func (c *Generational) incParts() incShared {
 		stats:  &c.stats,
 		st:     &c.inc,
 		budget: c.IncrementalBudget,
+		tele:   c.tele,
 		finishSweep: func(clear uint64, onFree func(vmheap.Ref, uint64)) vmheap.SweepStats {
 			c.dropRememberedSet()
 			sw := c.heap.Sweep(vmheap.SweepOptions{
@@ -203,6 +215,7 @@ func (c *Generational) Collect() error {
 // assertion checks run.
 func (c *Generational) collectMinor() error {
 	c.heap.AssertNoBuffers("minor collection")
+	c.tele.CycleBegin()
 	start := time.Now()
 	// Finish any lazily pending sweep before tracing (stale mark bits).
 	leftover := c.stats.timedPhase(c.heap.CompleteSweep)
@@ -229,6 +242,7 @@ func (c *Generational) collectMinor() error {
 	})
 
 	elapsed := time.Since(start)
+	c.tele.Pause(elapsed)
 	ts := c.tracer.Stats()
 	c.stats.Collections++
 	c.stats.MinorCollections++
@@ -251,6 +265,7 @@ func (c *Generational) CollectFull() error {
 		return c.incParts().finish()
 	}
 	c.heap.AssertNoBuffers("full collection")
+	c.tele.CycleBegin()
 	start := time.Now()
 	// Finish any lazily pending sweep before tracing (stale mark bits).
 	leftover := c.stats.timedPhase(c.heap.CompleteSweep)
@@ -287,6 +302,7 @@ func (c *Generational) CollectFull() error {
 	})
 
 	elapsed := time.Since(start)
+	c.tele.Pause(elapsed)
 	c.stats.Collections++
 	c.stats.FullCollections++
 	c.stats.GCTime += elapsed

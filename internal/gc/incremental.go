@@ -7,6 +7,7 @@ import (
 	"repro/internal/assertions"
 	"repro/internal/report"
 	"repro/internal/roots"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vmheap"
 )
@@ -47,6 +48,7 @@ type incShared struct {
 	stats       *Stats
 	st          *incCycle
 	budget      int
+	tele        *telemetry.Recorder
 	finishSweep func(clear uint64, onFree func(vmheap.Ref, uint64)) vmheap.SweepStats
 }
 
@@ -67,6 +69,7 @@ func (p incShared) start() {
 	// The cycle ends in a full-heap sweep and the snapshot trace reads
 	// headers arena-wide; allocation buffers must all have been retired.
 	p.heap.AssertNoBuffers("incremental cycle start")
+	p.tele.CycleBegin()
 	begin := time.Now()
 	// A lazy sweep pending from the previous cycle must finish before the
 	// snapshot is taken: its unswept ranges carry stale mark bits.
@@ -83,7 +86,10 @@ func (p incShared) start() {
 	}
 	t.StartIncremental(p.roots)
 	p.st.active = true
-	p.stats.addIncrementalWork(time.Since(begin))
+	d := time.Since(begin)
+	p.tele.Span(telemetry.PhaseIncRoots, d)
+	p.tele.Pause(d)
+	p.stats.addIncrementalWork(d)
 }
 
 // step runs one bounded mark slice, completing the cycle when the worklist
@@ -99,7 +105,10 @@ func (p incShared) step() (bool, error) {
 	begin := time.Now()
 	done := p.tracer.IncrementalSlice(p.budget)
 	p.stats.MarkSlices++
-	p.stats.addIncrementalWork(time.Since(begin))
+	d := time.Since(begin)
+	p.tele.Span(telemetry.PhaseIncSlice, d)
+	p.tele.Pause(d)
+	p.stats.addIncrementalWork(d)
 	if done {
 		return true, p.finish()
 	}
@@ -147,7 +156,10 @@ func (p incShared) finish() error {
 	s.FreedWords += sw.FreedWords
 	s.LastLiveWords = sw.LiveWords
 	s.addTrace(ts)
-	s.addIncrementalWork(time.Since(begin))
+	d := time.Since(begin)
+	p.tele.Span(telemetry.PhaseIncFinish, d)
+	p.tele.Pause(d)
+	s.addIncrementalWork(d)
 
 	if p.mode == Infrastructure {
 		if v := p.engine.Halted(); v != nil {
@@ -168,7 +180,10 @@ func (p incShared) snapshotBarrier(obj vmheap.Ref) {
 	}
 	p.stats.BarrierScans++
 	p.stats.BarrierRefs += refs
-	p.stats.addIncrementalWork(time.Since(begin))
+	d := time.Since(begin)
+	p.tele.Span(telemetry.PhaseIncBarrier, d)
+	p.tele.Pause(d)
+	p.stats.addIncrementalWork(d)
 }
 
 // didAllocate is the per-allocation hook: start a cycle when free space

@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"io"
 	"runtime"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // RunConfig controls one measurement.
@@ -30,6 +32,10 @@ type RunConfig struct {
 	// keeps the direct free-list allocation the published figures use;
 	// > 0 enables per-thread bump allocation buffers of that many words.
 	AllocBufWords int
+	// EventSink, when non-nil, enables telemetry on every measured runtime
+	// and streams its NDJSON events here (gcbench -events). nil — the
+	// default — measures with telemetry fully disabled, as published.
+	EventSink io.Writer
 }
 
 // DefaultRunConfig mirrors the paper's shape at a scale that finishes in
@@ -80,7 +86,7 @@ type trial struct {
 // for its predecessor.
 func runTrial(s Subject, rc RunConfig) trial {
 	runtime.GC()
-	rt := core.New(core.Config{
+	cfg := core.Config{
 		HeapWords:    s.HeapWords,
 		Mode:         s.Mode,
 		Collector:    s.Collector,
@@ -88,7 +94,11 @@ func runTrial(s Subject, rc RunConfig) trial {
 		SweepWorkers: rc.SweepWorkers,
 		LazySweep:    rc.LazySweep,
 		AllocBuffers: rc.AllocBufWords,
-	})
+	}
+	if rc.EventSink != nil {
+		cfg.Telemetry = &telemetry.Config{Sink: rc.EventSink}
+	}
+	rt := core.New(cfg)
 	iterate := s.Build(rt)
 	for i := 0; i < rc.Warmup; i++ {
 		iterate()

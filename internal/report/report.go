@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/vmheap"
 )
@@ -176,12 +177,34 @@ func (f HandlerFunc) HandleViolation(v *Violation) Action { return f(v) }
 // default policy.
 type Logger struct {
 	W io.Writer
+	// OnWriteError, if non-nil, receives the error of every failed write.
+	// The runtime wires this to the telemetry recorder when telemetry is
+	// enabled, so a full disk silently dropping violations is visible in
+	// the counters.
+	OnWriteError func(error)
+
+	errs atomic.Uint64
 }
 
 // HandleViolation writes the formatted violation and returns Continue.
+// Logging stays best-effort — a violation handler must never take the
+// collector down — but failed writes are counted (WriteErrors) and
+// reported through OnWriteError rather than silently discarded.
 func (l *Logger) HandleViolation(v *Violation) Action {
-	fmt.Fprintln(l.W, v.Format())
+	if _, err := fmt.Fprintln(l.W, v.Format()); err != nil {
+		l.countErr(err)
+	}
 	return Continue
+}
+
+// WriteErrors returns the number of violation writes that failed.
+func (l *Logger) WriteErrors() uint64 { return l.errs.Load() }
+
+func (l *Logger) countErr(err error) {
+	l.errs.Add(1)
+	if l.OnWriteError != nil {
+		l.OnWriteError(err)
+	}
 }
 
 // JSONLogger writes one JSON object per violation — structured logging for
@@ -190,6 +213,11 @@ func (l *Logger) HandleViolation(v *Violation) Action {
 // terminal.
 type JSONLogger struct {
 	W io.Writer
+	// OnWriteError, if non-nil, receives the error of every failed encode
+	// (see Logger.OnWriteError).
+	OnWriteError func(error)
+
+	errs atomic.Uint64
 }
 
 // jsonViolation is the wire form.
@@ -220,9 +248,19 @@ func (l *JSONLogger) HandleViolation(v *Violation) Action {
 		jv.Path = append(jv.Path, e.Class)
 	}
 	enc := json.NewEncoder(l.W)
-	_ = enc.Encode(jv) // logging best-effort, as with Logger
+	if err := enc.Encode(jv); err != nil {
+		// Logging stays best-effort, as with Logger, but the failure is
+		// counted instead of vanishing.
+		l.errs.Add(1)
+		if l.OnWriteError != nil {
+			l.OnWriteError(err)
+		}
+	}
 	return Continue
 }
+
+// WriteErrors returns the number of violation encodes that failed.
+func (l *JSONLogger) WriteErrors() uint64 { return l.errs.Load() }
 
 // Recorder accumulates violations in memory for later inspection; used by
 // tests, the benchmark harness, and the leakcheck tool.

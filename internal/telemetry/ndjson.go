@@ -1,0 +1,269 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// NDJSON encoding of the event stream. One object per line, hand-appended
+// with strconv so the emit path allocates nothing (the scratch buffer is
+// reused under the recorder lock). The schema is stable: cmd/gcmon,
+// ReadEvents and the differential tests all parse it.
+//
+//	{"seq":1,"ns":12345,"ev":"cycle_begin","cycle":1}
+//	{"seq":2,"ns":12890,"ev":"phase_begin","phase":"mark","cycle":1}
+//	{"seq":3,"ns":99999,"ev":"phase_end","phase":"mark","cycle":1,"dur_ns":87109}
+//	{"seq":4,"ns":100100,"ev":"pause","cycle":1,"dur_ns":90000}
+//	{"seq":5,"ns":200000,"ev":"carve","cycle":1,"words":1024}
+//	{"seq":6,"ns":250000,"ev":"retire","cycle":1,"words":960,"tail":64}
+//	{"seq":7,"ns":300000,"ev":"violation","cycle":2,"kind":"assert-dead"}
+
+// appendEventJSON renders e as one NDJSON line into buf. Caller holds r.mu.
+func (r *Recorder) appendEventJSON(buf []byte, e *Event) []byte {
+	buf = append(buf, `{"seq":`...)
+	buf = strconv.AppendUint(buf, e.Seq, 10)
+	buf = append(buf, `,"ns":`...)
+	buf = strconv.AppendInt(buf, e.AtNanos, 10)
+	buf = append(buf, `,"ev":"`...)
+	buf = append(buf, e.Kind.String()...)
+	buf = append(buf, '"')
+	if e.Kind == KindPhaseBegin || e.Kind == KindPhaseEnd {
+		buf = append(buf, `,"phase":"`...)
+		buf = append(buf, e.Phase.String()...)
+		buf = append(buf, '"')
+	}
+	buf = append(buf, `,"cycle":`...)
+	buf = strconv.AppendUint(buf, e.Cycle, 10)
+	switch e.Kind {
+	case KindPhaseEnd, KindPause:
+		buf = append(buf, `,"dur_ns":`...)
+		buf = strconv.AppendUint(buf, e.Value, 10)
+	case KindCarve:
+		buf = append(buf, `,"words":`...)
+		buf = strconv.AppendUint(buf, e.Value, 10)
+	case KindRetire:
+		buf = append(buf, `,"words":`...)
+		buf = strconv.AppendUint(buf, e.Value, 10)
+		buf = append(buf, `,"tail":`...)
+		buf = strconv.AppendUint(buf, e.Value2, 10)
+	case KindViolation:
+		buf = append(buf, `,"kind":"`...)
+		name := r.violationNames[uint8(e.Value)]
+		if name == "" {
+			name = "unknown"
+		}
+		buf = append(buf, name...)
+		buf = append(buf, '"')
+	}
+	return append(buf, "}\n"...)
+}
+
+// FileEvent is the decoded form of one NDJSON line.
+type FileEvent struct {
+	Seq      uint64 `json:"seq"`
+	Nanos    int64  `json:"ns"`
+	Ev       string `json:"ev"`
+	Phase    string `json:"phase,omitempty"`
+	Cycle    uint64 `json:"cycle"`
+	DurNanos uint64 `json:"dur_ns,omitempty"`
+	Words    uint64 `json:"words,omitempty"`
+	Tail     uint64 `json:"tail,omitempty"`
+	Kind     string `json:"kind,omitempty"`
+}
+
+// ReadEvents decodes an NDJSON event stream. Blank lines are skipped; a
+// malformed line is an error carrying its line number.
+func ReadEvents(r io.Reader) ([]FileEvent, error) {
+	var out []FileEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e FileEvent
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("telemetry: event file line %d: %w", lineNo, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PhaseTally is one phase's aggregate in a Summary. Quantiles here are
+// exact (computed offline from every recorded duration), unlike the
+// factor-of-two histogram bounds in live Metrics.
+type PhaseTally struct {
+	Phase      string
+	Count      uint64
+	TotalNanos uint64
+	MaxNanos   uint64
+	P50Nanos   uint64
+	P95Nanos   uint64
+	P99Nanos   uint64
+}
+
+// Summary is an offline aggregation of an event stream, as printed by
+// cmd/gcmon.
+type Summary struct {
+	Events     uint64
+	Cycles     uint64
+	Phases     []PhaseTally // phase_end tallies, in first-seen order
+	Pause      PhaseTally
+	Carves     uint64
+	CarveWords uint64
+	Retires    uint64
+	UsedWords  uint64
+	TailWords  uint64
+	Violations map[string]uint64
+}
+
+// tally accumulates durations for one phase.
+type tally struct {
+	order int
+	durs  []uint64
+	total uint64
+	max   uint64
+}
+
+func (t *tally) observe(ns uint64) {
+	t.durs = append(t.durs, ns)
+	t.total += ns
+	if ns > t.max {
+		t.max = ns
+	}
+}
+
+// exactQuantile returns the q-quantile of durs by nearest-rank (durs is
+// sorted in place).
+func exactQuantile(durs []uint64, q float64) uint64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(durs)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(durs) {
+		rank = len(durs)
+	}
+	return durs[rank-1]
+}
+
+func (t *tally) finish(name string) PhaseTally {
+	sort.Slice(t.durs, func(i, j int) bool { return t.durs[i] < t.durs[j] })
+	return PhaseTally{
+		Phase:      name,
+		Count:      uint64(len(t.durs)),
+		TotalNanos: t.total,
+		MaxNanos:   t.max,
+		P50Nanos:   exactQuantile(t.durs, 0.50),
+		P95Nanos:   exactQuantile(t.durs, 0.95),
+		P99Nanos:   exactQuantile(t.durs, 0.99),
+	}
+}
+
+// Summarize aggregates a decoded event stream.
+func Summarize(events []FileEvent) Summary {
+	s := Summary{Violations: map[string]uint64{}}
+	phases := map[string]*tally{}
+	var pause tally
+	for _, e := range events {
+		s.Events++
+		switch e.Ev {
+		case "cycle_begin":
+			s.Cycles++
+		case "phase_end":
+			t := phases[e.Phase]
+			if t == nil {
+				t = &tally{order: len(phases)}
+				phases[e.Phase] = t
+			}
+			t.observe(e.DurNanos)
+		case "pause":
+			pause.observe(e.DurNanos)
+		case "carve":
+			s.Carves++
+			s.CarveWords += e.Words
+		case "retire":
+			s.Retires++
+			s.UsedWords += e.Words
+			s.TailWords += e.Tail
+		case "violation":
+			s.Violations[e.Kind]++
+		}
+	}
+	names := make([]string, 0, len(phases))
+	for name := range phases {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return phases[names[i]].order < phases[names[j]].order })
+	for _, name := range names {
+		s.Phases = append(s.Phases, phases[name].finish(name))
+	}
+	s.Pause = pause.finish("pause")
+	return s
+}
+
+// fmtNanos renders a nanosecond figure at a human scale.
+func fmtNanos(ns uint64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// Format renders the summary as the table cmd/gcmon prints.
+func (s Summary) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events: %d   cycles: %d\n", s.Events, s.Cycles)
+	if len(s.Phases) > 0 || s.Pause.Count > 0 {
+		fmt.Fprintf(&b, "%-14s %8s %10s %10s %10s %10s %10s\n",
+			"phase", "count", "total", "p50", "p95", "p99", "max")
+		for _, p := range s.Phases {
+			fmt.Fprintf(&b, "%-14s %8d %10s %10s %10s %10s %10s\n",
+				p.Phase, p.Count, fmtNanos(p.TotalNanos),
+				fmtNanos(p.P50Nanos), fmtNanos(p.P95Nanos), fmtNanos(p.P99Nanos), fmtNanos(p.MaxNanos))
+		}
+		if p := s.Pause; p.Count > 0 {
+			fmt.Fprintf(&b, "%-14s %8d %10s %10s %10s %10s %10s\n",
+				"pause", p.Count, fmtNanos(p.TotalNanos),
+				fmtNanos(p.P50Nanos), fmtNanos(p.P95Nanos), fmtNanos(p.P99Nanos), fmtNanos(p.MaxNanos))
+		}
+	}
+	if s.Carves > 0 || s.Retires > 0 {
+		fmt.Fprintf(&b, "buffers: %d carved (%d words), %d retired (%d used + %d tail words)\n",
+			s.Carves, s.CarveWords, s.Retires, s.UsedWords, s.TailWords)
+	}
+	if len(s.Violations) > 0 {
+		kinds := make([]string, 0, len(s.Violations))
+		for k := range s.Violations {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		b.WriteString("violations:")
+		for _, k := range kinds {
+			fmt.Fprintf(&b, " %s=%d", k, s.Violations[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

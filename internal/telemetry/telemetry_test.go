@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsDisabled(t *testing.T) {
+	var r *Recorder
+	r.CycleBegin()
+	start := r.Begin(PhaseMark)
+	if !start.IsZero() {
+		t.Errorf("nil Begin returned non-zero time %v", start)
+	}
+	r.End(PhaseMark, start)
+	r.Span(PhaseSweep, time.Millisecond)
+	r.Pause(time.Millisecond)
+	r.Carve(64)
+	r.Retire(32, 32)
+	r.Violation(0, "assert-dead")
+	r.CountWriteError()
+	r.CountWriteErrorHook()(errors.New("boom"))
+	r.PublishExpvar("nil-recorder")
+	if got := r.Metrics(); got.Events != 0 {
+		t.Errorf("nil Metrics = %+v, want zero", got)
+	}
+	if ev := r.Events(); ev != nil {
+		t.Errorf("nil Events = %v, want nil", ev)
+	}
+}
+
+func TestRecorderCountersAndEvents(t *testing.T) {
+	var sink bytes.Buffer
+	r := New(Config{RingSize: 8, Sink: &sink})
+
+	r.CycleBegin()
+	start := r.Begin(PhaseMark)
+	r.End(PhaseMark, start)
+	r.Span(PhaseSweep, 5*time.Millisecond)
+	r.Pause(2 * time.Millisecond)
+	r.Carve(1024)
+	r.Retire(1000, 24)
+	r.Violation(0, "assert-dead")
+	r.Violation(0, "assert-dead")
+
+	m := r.Metrics()
+	if m.Cycles != 1 {
+		t.Errorf("Cycles = %d, want 1", m.Cycles)
+	}
+	if m.Carves != 1 || m.CarveWords != 1024 {
+		t.Errorf("Carves = %d/%d words, want 1/1024", m.Carves, m.CarveWords)
+	}
+	if m.Retires != 1 || m.UsedWords != 1000 || m.TailWords != 24 {
+		t.Errorf("Retires = %d used %d tail %d, want 1/1000/24", m.Retires, m.UsedWords, m.TailWords)
+	}
+	if m.Violations != 2 {
+		t.Errorf("Violations = %d, want 2", m.Violations)
+	}
+	if len(m.ViolationsByKind) != 1 || m.ViolationsByKind[0].Kind != "assert-dead" || m.ViolationsByKind[0].Count != 2 {
+		t.Errorf("ViolationsByKind = %+v", m.ViolationsByKind)
+	}
+	if m.Pause.Count != 1 || m.Pause.TotalNanos != uint64(2*time.Millisecond) {
+		t.Errorf("Pause = %+v", m.Pause)
+	}
+	var sweep *PhaseSummary
+	for i := range m.Phases {
+		if m.Phases[i].Phase == "sweep" {
+			sweep = &m.Phases[i]
+		}
+	}
+	if sweep == nil || sweep.Count != 1 || sweep.MaxNanos != uint64(5*time.Millisecond) {
+		t.Fatalf("sweep summary = %+v", sweep)
+	}
+	if sweep.P99Nanos < sweep.MaxNanos/2 || sweep.P99Nanos > sweep.MaxNanos {
+		t.Errorf("p99 %d outside factor-of-two bound of max %d", sweep.P99Nanos, sweep.MaxNanos)
+	}
+
+	// The sink saw one line per event, and the decoder round-trips them
+	// into the same totals.
+	evs, err := ReadEvents(bytes.NewReader(sink.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(evs)) != m.Events {
+		t.Fatalf("sink carries %d events, recorder emitted %d", len(evs), m.Events)
+	}
+	s := Summarize(evs)
+	if s.Cycles != m.Cycles || s.Carves != m.Carves || s.Retires != m.Retires {
+		t.Errorf("summary %+v does not match metrics %+v", s, m)
+	}
+	if s.Violations["assert-dead"] != 2 {
+		t.Errorf("summary violations = %v", s.Violations)
+	}
+	var markCount uint64
+	for _, p := range s.Phases {
+		if p.Phase == "mark" {
+			markCount = p.Count
+		}
+	}
+	if markCount != 1 {
+		t.Errorf("summary mark count = %d, want 1", markCount)
+	}
+	if !strings.Contains(s.Format(), "mark") {
+		t.Errorf("Format lacks phase table:\n%s", s.Format())
+	}
+}
+
+func TestRingOverwriteCountsDropped(t *testing.T) {
+	r := New(Config{RingSize: 4})
+	for i := 0; i < 10; i++ {
+		r.Pause(time.Duration(i))
+	}
+	m := r.Metrics()
+	if m.Events != 10 || m.Dropped != 6 {
+		t.Errorf("Events/Dropped = %d/%d, want 10/6", m.Events, m.Dropped)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+// failWriter fails every write after the first n.
+type failWriter struct{ ok int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.ok > 0 {
+		f.ok--
+		return len(p), nil
+	}
+	return 0, errors.New("disk full")
+}
+
+func TestSinkErrorsAreCountedNotFatal(t *testing.T) {
+	r := New(Config{RingSize: 8, Sink: &failWriter{ok: 2}})
+	for i := 0; i < 5; i++ {
+		r.Pause(time.Duration(i + 1))
+	}
+	m := r.Metrics()
+	if m.SinkErrors != 3 {
+		t.Errorf("SinkErrors = %d, want 3", m.SinkErrors)
+	}
+	if m.Events != 5 {
+		t.Errorf("Events = %d, want 5 (a failing sink must not drop ring events)", m.Events)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New(Config{RingSize: 8})
+	r.CycleBegin()
+	r.Span(PhaseMark, time.Millisecond)
+	r.Pause(time.Millisecond)
+	r.CountWriteError()
+	var out bytes.Buffer
+	if err := r.Metrics().WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"gcassert_gc_cycles_total 1",
+		`gcassert_phase_count{phase="mark"} 1`,
+		"gcassert_pause_count 1",
+		"gcassert_report_write_errors_total 1",
+		"gcassert_telemetry_events_total 4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output lacks %q:\n%s", want, text)
+		}
+	}
+	if err := (Metrics{}).WritePrometheus(&failWriter{}); err == nil {
+		t.Error("WritePrometheus on a failing writer returned nil error")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	for i := 0; i < 99; i++ {
+		h.Observe(100) // bit length 7 → bucket upper bound 127
+	}
+	h.Observe(1 << 20)
+	if h.Count != 100 || h.Max != 1<<20 {
+		t.Fatalf("count/max = %d/%d", h.Count, h.Max)
+	}
+	if q := h.Quantile(0.50); q < 100 || q > 200 {
+		t.Errorf("p50 = %d, want within a factor of two of 100", q)
+	}
+	if q := h.Quantile(1.0); q != 1<<20 {
+		t.Errorf("p100 = %d, want exact max %d", q, 1<<20)
+	}
+}
+
+func TestReadEventsRejectsMalformedLine(t *testing.T) {
+	_, err := ReadEvents(strings.NewReader("{\"seq\":1,\"ev\":\"pause\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line-2 parse error", err)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := New(Config{RingSize: 8})
+	r.PublishExpvar("gcassert-test-recorder")
+	// Re-publishing (same or another recorder) must not panic.
+	r.PublishExpvar("gcassert-test-recorder")
+	New(Config{}).PublishExpvar("gcassert-test-recorder")
+}
+
+func TestEmitDoesNotAllocate(t *testing.T) {
+	r := New(Config{RingSize: 64, Sink: &bytes.Buffer{}})
+	avg := testing.AllocsPerRun(200, func() {
+		r.CycleBegin()
+		r.Span(PhaseMark, time.Microsecond)
+		r.Pause(time.Microsecond)
+		r.Carve(128)
+		r.Retire(100, 28)
+		r.Violation(1, "assert-alldead")
+	})
+	// bytes.Buffer growth may allocate occasionally; the emit path itself
+	// must not allocate per event.
+	if avg > 0.5 {
+		t.Errorf("emit path allocates %.2f allocs per cycle, want ~0", avg)
+	}
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"repro/internal/roots"
+	"repro/internal/telemetry"
 	"repro/internal/vmheap"
 )
 
@@ -16,6 +17,8 @@ import (
 // are only checked at full-heap collections, "allowing some assertions to
 // go unchecked for long periods of time".
 func (t *Tracer) TraceMinor(src roots.Source, remembered []vmheap.Ref) {
+	teleStart := t.tele.Begin(telemetry.PhaseMinorMark)
+	defer t.tele.End(telemetry.PhaseMinorMark, teleStart)
 	h := t.heap
 	stack := t.stack[:0]
 

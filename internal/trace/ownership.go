@@ -2,6 +2,7 @@ package trace
 
 import (
 	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/vmheap"
 )
 
@@ -46,6 +47,8 @@ type OwnershipPhase struct {
 // their checks must piggyback on this traversal. Paths reported from this
 // phase begin at an owner or ownee rather than a root.
 func (t *Tracer) RunOwnershipPhase(p *OwnershipPhase) {
+	teleStart := t.tele.Begin(telemetry.PhaseOwnership)
+	defer t.tele.End(telemetry.PhaseOwnership, teleStart)
 	var queue, improper []vmheap.Ref
 
 	// Phase 1a: truncated scan from each owner.

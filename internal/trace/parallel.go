@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/roots"
+	"repro/internal/telemetry"
 	"repro/internal/vmheap"
 )
 
@@ -344,6 +345,8 @@ func (t *Tracer) TraceBaseParallel(src roots.Source, workers int) {
 		t.TraceBase(src)
 		return
 	}
+	teleStart := t.tele.Begin(telemetry.PhaseMarkParallel)
+	defer t.tele.End(telemetry.PhaseMarkParallel, teleStart)
 	run := newParallelRun(t, workers, false)
 
 	// Root scan, serial: claim each rooted object and deal it round-robin
@@ -381,6 +384,7 @@ func (t *Tracer) TraceInfraParallel(src roots.Source, workers int) (fellBack boo
 		t.TraceInfra(src)
 		return false
 	}
+	teleStart := t.tele.Begin(telemetry.PhaseMarkParallel)
 	run := newParallelRun(t, workers, true)
 
 	// Root scan, serial: every non-nil root slot is an encounter with
@@ -409,11 +413,15 @@ func (t *Tracer) TraceInfraParallel(src roots.Source, workers int) (fellBack boo
 		// reporting trace. The serial pass recounts visited objects,
 		// scanned references and tracked instances from scratch, so the
 		// final stats and violations are exactly the serial tracer's.
+		// The parallel span ends here so the serial re-trace appears as
+		// its own mark span — both attempts really happened.
+		t.tele.End(telemetry.PhaseMarkParallel, teleStart)
 		t.heap.ClearMarks(0)
 		t.TraceInfra(src)
 		return true
 	}
 	run.recordWorkerStats(t, false)
 	run.mergeCounters(t)
+	t.tele.End(telemetry.PhaseMarkParallel, teleStart)
 	return false
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/classes"
 	"repro/internal/report"
 	"repro/internal/roots"
+	"repro/internal/telemetry"
 	"repro/internal/vmheap"
 )
 
@@ -86,6 +87,11 @@ type Tracer struct {
 	// CurrentPath (the worklist does not describe how the barrier reached
 	// the object).
 	barrierSrc vmheap.Ref
+
+	// tele, when non-nil, receives a span per marking pass (mark,
+	// mark_parallel, ownership, minor_mark). Nil — the default — costs one
+	// branch per pass, nothing per object.
+	tele *telemetry.Recorder
 }
 
 // New creates a tracer for the given heap and class registry.
@@ -96,6 +102,10 @@ func New(h *vmheap.Heap, reg *classes.Registry) *Tracer {
 // SetChecks installs the assertion callouts for subsequent Infrastructure
 // traces.
 func (t *Tracer) SetChecks(c Checks) { t.checks = c }
+
+// SetTelemetry attaches a telemetry recorder; the tracer then emits one
+// phase span per marking pass. nil detaches (the default).
+func (t *Tracer) SetTelemetry(rec *telemetry.Recorder) { t.tele = rec }
 
 // countVisit records one first-visit mark. The size accumulation gives the
 // collector exact live totals at mark termination (VisitedWords), which lets
@@ -142,6 +152,8 @@ func (t *Tracer) RequestHalt(v *report.Violation) {
 // TraceBase marks everything reachable from src with a plain depth-first
 // scan: the unmodified collector of the paper's Base configuration.
 func (t *Tracer) TraceBase(src roots.Source) {
+	teleStart := t.tele.Begin(telemetry.PhaseMark)
+	defer t.tele.End(telemetry.PhaseMark, teleStart)
 	h := t.heap
 	stack := t.stack[:0]
 
@@ -195,6 +207,8 @@ func (t *Tracer) TraceBase(src roots.Source) {
 // encountered reference. The ownership pre-phase, if any, must already have
 // run (marked objects are simply not re-traced).
 func (t *Tracer) TraceInfra(src roots.Source) {
+	teleStart := t.tele.Begin(telemetry.PhaseMark)
+	defer t.tele.End(telemetry.PhaseMark, teleStart)
 	t.stack = t.stack[:0]
 
 	src.EachRoot(func(slot *vmheap.Ref) {

@@ -77,6 +77,7 @@ func (h *Heap) CarveBuffer(b *AllocBuffer, minWords, prefWords uint32) bool {
 			h.freeWords -= uint64(size)
 			h.activeBuffers++
 			h.bufCarves++
+			h.tele.Carve(uint64(size))
 			return true
 		}
 		if want <= floor {
@@ -150,6 +151,7 @@ func (b *AllocBuffer) Retire() {
 	h.allocCount += b.objs
 	h.allocWords += used
 	h.bufAllocs += b.objs
+	h.tele.Retire(used, uint64(b.end-b.pos))
 	if tail := b.end - b.pos; tail > 0 {
 		size := tail
 		if next := b.end; next < uint32(len(h.words)) {

@@ -3,6 +3,8 @@ package vmheap
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/telemetry"
 )
 
 // heapBase is the word index of the first allocatable word. Index 0 is
@@ -63,6 +65,12 @@ type Heap struct {
 	lazySweep    bool
 	lazy         lazyState
 	sweepStats   SweepModeStats
+
+	// tele, when non-nil, receives sweep-phase spans, deferred-segment
+	// spans, and buffer carve/retire events (core wires it from
+	// Config.Telemetry). Nil — the default, and the published
+	// configuration — costs one predictable branch per emit point.
+	tele *telemetry.Recorder
 }
 
 // numExactBins is the number of exact-size free-list bins. Bin i serves
@@ -84,6 +92,11 @@ func New(capWords int) *Heap {
 	h.initSegments()
 	return h
 }
+
+// SetTelemetry attaches a telemetry recorder; the heap then emits sweep
+// spans, deferred-segment spans, and buffer carve/retire events into it.
+// nil detaches (the default).
+func (h *Heap) SetTelemetry(rec *telemetry.Recorder) { h.tele = rec }
 
 // CapacityWords returns the total number of allocatable words in the heap.
 func (h *Heap) CapacityWords() uint64 { return uint64(len(h.words) - heapBase) }

@@ -28,6 +28,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Nominal segment sizing: aim for targetSegments parse ranges, but keep
@@ -407,7 +409,9 @@ func (h *Heap) sweepSegment(demand bool) bool {
 	} else {
 		h.sweepStats.CompletionSegments++
 	}
-	h.sweepStats.DeferredSweepTime += time.Since(t0)
+	elapsed := time.Since(t0)
+	h.sweepStats.DeferredSweepTime += elapsed
+	h.tele.Span(telemetry.PhaseLazySegment, elapsed)
 	return true
 }
 

@@ -1,6 +1,10 @@
 package vmheap
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
 
 // SweepStats summarizes one sweep pass.
 type SweepStats struct {
@@ -65,17 +69,25 @@ func (h *Heap) Sweep(opts SweepOptions) SweepStats {
 	if h.lazy.pending {
 		panic("vmheap: Sweep with a lazy sweep still pending (CompleteSweep must run before the trace)")
 	}
+	// The telemetry span covers the collection-time portion only: under the
+	// lazy mode that is the census/arm pause, and each deferred range sweep
+	// emits its own PhaseLazySegment span when it actually runs.
+	start := h.tele.Begin(telemetry.PhaseSweep)
+	var st SweepStats
 	switch {
 	case h.lazySweep:
 		if opts.MarkedKnown && !opts.Immature {
-			return h.sweepArm(opts)
+			st = h.sweepArm(opts)
+		} else {
+			st = h.sweepCensus(opts)
 		}
-		return h.sweepCensus(opts)
 	case h.sweepWorkers >= 2:
-		return h.sweepParallel(opts)
+		st = h.sweepParallel(opts)
 	default:
-		return h.sweepSerial(opts)
+		st = h.sweepSerial(opts)
 	}
+	h.tele.End(telemetry.PhaseSweep, start)
+	return st
 }
 
 // sweepSerial is the eager linear sweep (the published configuration, and
