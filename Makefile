@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench sweepbench allocbench telemetrybench difftest fuzz figures casestudies verify
+.PHONY: all build test race bench sweepbench allocbench telemetrybench pausebench difftest fuzz figures casestudies verify
 
 all: build test
 
@@ -33,14 +33,23 @@ allocbench:
 telemetrybench:
 	go test -run '^$$' -bench BenchmarkTelemetry -benchmem .
 
+# Concurrent pacing report: the stop-the-world collector vs the background
+# pacer at several trigger/slack settings, comparing mutator-visible latency
+# tails and throughput (see results/concurrent_pacing.txt).
+pausebench:
+	go run ./cmd/gcbench -fig pause -concurrent | tee results/concurrent_pacing.txt
+
 # Differential tests: serial vs parallel collections on identical scripts,
 # stop-the-world vs incremental cycles (plus the shadow-model oracle), eager
 # vs parallel vs lazy sweep modes under both collectors, direct vs buffered
-# allocation across every collector mode, and telemetry on vs off
-# (recording must be pure observation — byte-identical heaps).
+# allocation across every collector mode, telemetry on vs off (recording
+# must be pure observation — byte-identical heaps), and stop-the-world vs
+# background-pacer concurrent collection (same final marked set and
+# assertion verdicts).
 difftest:
 	go test -race -run 'TestDifferential|TestIncrementalDifferential|TestOracle' -v ./internal/trace
 	go test -race -run 'TestSweepModesDifferential|TestLazySweep|TestAllocBuffer|TestTelemetry' -v ./internal/core
+	go test -race -run 'TestConcurrentDifferential' -v ./internal/core
 
 # Short coverage-guided fuzz runs: the serial/parallel equivalence, the
 # stop-the-world/incremental equivalence, the eager/parallel/lazy sweep
@@ -51,6 +60,7 @@ fuzz:
 	go test -run '^$$' -fuzz FuzzIncrementalBarrier -fuzztime 30s ./internal/core
 	go test -run '^$$' -fuzz FuzzLazySweep -fuzztime 30s ./internal/core
 	go test -run '^$$' -fuzz FuzzAllocBuffer -fuzztime 30s ./internal/core
+	go test -run '^$$' -fuzz FuzzConcurrentPacer -fuzztime 30s ./internal/core
 
 # Regenerate the paper's figures (text tables on stdout, CSV alongside).
 figures:

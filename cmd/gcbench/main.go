@@ -14,6 +14,10 @@
 // goroutines); the published numbers use the default serial tracer.
 // -incremental N selects the bounded mark budget for -fig pause; the paper
 // figures themselves are always stop-the-world, as published.
+// -concurrent switches -fig pause to the background-pacer report: the same
+// churn workload under the stop-the-world collector and under the
+// concurrent pacer at several trigger/slack settings, comparing
+// mutator-visible latency tails and throughput.
 // -sweepworkers N and -lazysweep select the sweep mode for the paper
 // figures (the published numbers use the default eager serial sweep); -fig
 // sweep instead measures every mode side by side and ignores both flags.
@@ -65,6 +69,7 @@ type options struct {
 	warmup       int
 	workers      int
 	incremental  int
+	concurrent   bool
 	sweepWorkers int
 	lazySweep    bool
 	allocBuf     int
@@ -98,6 +103,15 @@ func validate(o options) error {
 	if o.incremental > 0 && o.fig != "pause" {
 		return fmt.Errorf("-incremental %d with -fig %s: the paper figures are stop-the-world as published; incremental budgets apply only to -fig pause", o.incremental, o.fig)
 	}
+	if o.concurrent && o.fig != "pause" {
+		return fmt.Errorf("-concurrent with -fig %s: the background-pacer report applies only to -fig pause", o.fig)
+	}
+	if o.concurrent && o.incremental > 0 {
+		return fmt.Errorf("-concurrent with -incremental %d: the pacer budgets its own mark slices against the allocation rate; the two modes cannot be combined", o.incremental)
+	}
+	if o.concurrent && o.workers > 1 {
+		return fmt.Errorf("-concurrent with -workers %d: the pacer's bounded mark slices are serial; parallel tracing and concurrent pacing cannot be combined", o.workers)
+	}
 	if o.sweepWorkers < 0 {
 		return fmt.Errorf("-sweepworkers %d: cannot be negative", o.sweepWorkers)
 	}
@@ -129,6 +143,7 @@ func main() {
 	warmup := flag.Int("warmup", harness.DefaultRunConfig.Warmup, "warmup iterations per trial")
 	workers := flag.Int("workers", 1, "mark-phase trace workers (1 = serial, as published)")
 	incremental := flag.Int("incremental", 0, "bounded mark budget for -fig pause (0 = stop-the-world)")
+	concurrent := flag.Bool("concurrent", false, "run -fig pause as the background-pacer report (stop-the-world vs concurrent trigger/slack settings)")
 	sweepWorkers := flag.Int("sweepworkers", 1, "sweep-phase workers for the paper figures (1 = eager serial, as published)")
 	lazySweep := flag.Bool("lazysweep", false, "defer reclamation to allocation time for the paper figures")
 	allocBuf := flag.Int("allocbuf", 0, "per-thread allocation buffer words for the paper figures (0 = direct free-list allocation, as published)")
@@ -144,6 +159,7 @@ func main() {
 		warmup:       *warmup,
 		workers:      *workers,
 		incremental:  *incremental,
+		concurrent:   *concurrent,
 		sweepWorkers: *sweepWorkers,
 		lazySweep:    *lazySweep,
 		allocBuf:     *allocBuf,
@@ -183,6 +199,12 @@ func main() {
 	if *fig == "sweep" {
 		rows := harness.RunSweepReport(harness.DefaultSweepReport, progress)
 		fmt.Println(harness.FormatSweepReport(harness.DefaultSweepReport, rows))
+		return
+	}
+
+	if *fig == "pause" && *concurrent {
+		rows := harness.RunConcurrentPacing(harness.DefaultConcurrentPacing, progress)
+		fmt.Println(harness.FormatConcurrentPacing(rows))
 		return
 	}
 

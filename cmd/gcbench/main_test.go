@@ -56,6 +56,7 @@ func TestValidateAccepts(t *testing.T) {
 		func(o *options) { o.fig = "trace"; o.workers = 8 },
 		func(o *options) { o.fig = "pause" },
 		func(o *options) { o.fig = "pause"; o.incremental = 5000 },
+		func(o *options) { o.fig = "pause"; o.concurrent = true },
 		func(o *options) { o.warmup = 0 },
 		func(o *options) { o.fig = "sweep" },
 		func(o *options) { o.fig = "2"; o.sweepWorkers = 4 },
@@ -93,6 +94,13 @@ func TestValidateRejects(t *testing.T) {
 		// silently measure a different collector than the paper's.
 		{func(o *options) { o.fig = "all"; o.incremental = 100 }, "stop-the-world as published"},
 		{func(o *options) { o.fig = "3"; o.incremental = 100 }, "stop-the-world as published"},
+		// The pacer report is -fig pause's concurrent arm; on the paper
+		// figures the flag would silently measure nothing.
+		{func(o *options) { o.fig = "all"; o.concurrent = true }, "applies only to -fig pause"},
+		// The pacer schedules its own slices; an explicit budget or the
+		// parallel tracer would fight it.
+		{func(o *options) { o.fig = "pause"; o.concurrent = true; o.incremental = 100 }, "cannot be combined"},
+		{func(o *options) { o.fig = "pause"; o.concurrent = true; o.workers = 4 }, "cannot be combined"},
 		{func(o *options) { o.sweepWorkers = -1 }, "-sweepworkers"},
 		// Lazy sweeping reclaims strictly in address order; there is nothing
 		// for sweep workers to fan out over.

@@ -17,9 +17,16 @@ var ErrAssertionsDisabled = errors.New("core: assertions require Infrastructure 
 // completion is returned and the registration does not happen; the caller
 // observes the halt just as it would from the collection call itself.
 func (rt *Runtime) finishCycleForRegistration() error {
+	// A pacer-started cycle is completed through the pacer so its growth
+	// ledger, cycle count, and retrigger baseline stay truthful (the pacer
+	// retires the born-black buffers before the sweep itself).
+	if rt.pacer != nil {
+		return rt.settlePacerCycleLocked()
+	}
 	if !rt.collector.IncrementalActive() {
 		return nil
 	}
+	rt.flushAllocBuffers()
 	return rt.collector.FinishFull()
 }
 

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/vmheap"
+)
+
+// TestConcurrentDifferential drives one deterministic mutator script
+// against a stop-the-world runtime and a concurrent (background pacer)
+// runtime and requires identical observable behavior at the final
+// quiescent point: the same live objects, by script-assigned id, and the
+// same assertion verdicts.
+//
+// The concurrent world's cycles land at nondeterministic script points, so
+// the comparison is shaped around that: no assertion is registered during
+// the mutation phase (a cycle with nothing registered reports nothing, so
+// extra cycles are invisible), hidden-register flotsam is dropped by Close
+// and reclaimed by the first post-Close collection, and verdict strings
+// omit the cycle number. Everything that remains — reachability verdicts,
+// sharing verdicts, instance counts, the live set — must match exactly.
+func TestConcurrentDifferential(t *testing.T) {
+	for _, kind := range []CollectorKind{MarkSweep, Generational} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%v_seed%d", kind, seed), func(t *testing.T) {
+				runConcurrentDifferential(t, kind, seed)
+			})
+		}
+	}
+}
+
+const diffSlots = 8
+
+type diffWorld struct {
+	rt         *Runtime
+	th         *Thread
+	fr         *Frame
+	node       *Class
+	aOff, bOff uint16
+	ids        map[Ref]int
+	nalloc     int
+	vlog       []string
+}
+
+// newDiffWorldCfg builds one runtime from cfg (the handler is installed
+// here). Violations are rendered at report time (under the runtime lock,
+// while the object is still allocated) into strings without cycle numbers —
+// the two worlds run different numbers of cycles by design.
+func newDiffWorldCfg(cfg Config) *diffWorld {
+	w := &diffWorld{ids: make(map[Ref]int)}
+	cfg.Handler = report.HandlerFunc(func(v *report.Violation) report.Action {
+		objID := -1
+		if v.Object != Nil {
+			id, ok := w.ids[v.Object]
+			if !ok {
+				id = -2 // would indicate a recycled-address bug
+			}
+			objID = id
+		}
+		w.vlog = append(w.vlog, fmt.Sprintf("%v|%s#%d|%d/%d",
+			v.Kind, v.Class, objID, v.Count, v.Limit))
+		return report.Continue
+	})
+	w.rt = New(cfg)
+	w.th = w.rt.MainThread()
+	w.node = w.rt.DefineClass("DNode", RefField("a"), RefField("b"))
+	w.aOff = w.node.MustFieldIndex("a")
+	w.bOff = w.node.MustFieldIndex("b")
+	w.fr = w.th.PushFrame(diffSlots)
+	return w
+}
+
+func newDiffWorld(concurrent bool, kind CollectorKind) *diffWorld {
+	cfg := Config{HeapWords: 1 << 13, Mode: Infrastructure, Collector: kind}
+	if concurrent {
+		cfg.ConcurrentGC = true
+		cfg.GCTriggerFraction = 0.4
+		cfg.GCAssistSlack = 0.5
+		cfg.AllocBuffers = 128
+	}
+	return newDiffWorldCfg(cfg)
+}
+
+// drainSorted takes and sorts the world's rendered violations.
+func drainSorted(w *diffWorld) []string {
+	out := w.vlog
+	w.vlog = nil
+	sort.Strings(out)
+	return out
+}
+
+func (w *diffWorld) record(r Ref) Ref {
+	w.ids[r] = w.nalloc
+	w.nalloc++
+	return r
+}
+
+func (w *diffWorld) liveIDs(t *testing.T) []string {
+	t.Helper()
+	var out []string
+	for _, o := range w.rt.LiveSet() {
+		id, ok := w.ids[o.Ref]
+		if !ok {
+			t.Fatalf("live object %d has no script id", o.Ref)
+		}
+		out = append(out, fmt.Sprintf("%d:%s:%d", id, o.Class, o.Words))
+	}
+	sort.Strings(out)
+	return out
+}
+
+type diffOp struct{ code, a, b byte }
+
+func (w *diffWorld) apply(t *testing.T, op diffOp) {
+	t.Helper()
+	slot := int(op.a) % diffSlots
+	switch {
+	case op.code < 30: // alloc node into slot
+		w.fr.SetLocal(slot, w.record(w.th.New(w.node)))
+	case op.code < 50: // alloc ref array into slot
+		w.fr.SetLocal(slot, w.record(w.th.NewRefArray(1+int(op.b)%8)))
+	case op.code < 60: // alloc data array into slot
+		w.fr.SetLocal(slot, w.record(w.th.NewDataArray(1+int(op.b)%16)))
+	case op.code < 84: // wire slot -> slot
+		src := w.fr.Local(slot)
+		dst := w.fr.Local(int(op.b) % diffSlots)
+		if src == Nil {
+			return
+		}
+		switch {
+		case w.rt.ClassOf(src) == w.node:
+			off := w.aOff
+			if op.b%2 == 1 {
+				off = w.bOff
+			}
+			w.rt.SetRef(src, off, dst)
+		case w.rt.KindOf(src) == int(vmheap.KindRefArray):
+			if n := w.rt.ArrLen(src); n > 0 {
+				w.rt.ArrSetRef(src, int(op.b)%n, dst)
+			}
+		}
+	case op.code < 96: // clear slot
+		w.fr.SetLocal(slot, Nil)
+	default: // explicit full collection (both worlds run it)
+		if err := w.rt.GC(); err != nil {
+			t.Fatalf("GC: %v", err)
+		}
+	}
+}
+
+func runConcurrentDifferential(t *testing.T, kind CollectorKind, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	script := make([]diffOp, 2000)
+	for i := range script {
+		script[i] = diffOp{byte(rng.Intn(100)), byte(rng.Intn(256)), byte(rng.Intn(256))}
+	}
+	regChoice := make([]int, diffSlots)
+	for s := range regChoice {
+		regChoice[s] = rng.Intn(3)
+	}
+	limit := int64(rng.Intn(4))
+
+	stw := newDiffWorld(false, kind)
+	conc := newDiffWorld(true, kind)
+	for _, op := range script {
+		stw.apply(t, op)
+		conc.apply(t, op)
+	}
+
+	for _, w := range []*diffWorld{stw, conc} {
+		// Quiesce: stops the concurrent world's pacer (a no-op for the
+		// stop-the-world twin), after which both worlds run the same
+		// synchronous registration-and-check sequence.
+		if err := w.rt.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		for s, c := range regChoice {
+			r := w.fr.Local(s)
+			if r == Nil {
+				continue
+			}
+			switch c {
+			case 0:
+				// Usually dies with the root dropped; stays reachable — and
+				// violates — when the script wired it somewhere else.
+				if err := w.rt.AssertDead(r); err != nil {
+					t.Fatalf("AssertDead: %v", err)
+				}
+				w.fr.SetLocal(s, Nil)
+			case 1:
+				if err := w.rt.AssertUnshared(r); err != nil {
+					t.Fatalf("AssertUnshared: %v", err)
+				}
+			}
+		}
+		if err := w.rt.AssertInstances(w.node, limit); err != nil {
+			t.Fatalf("AssertInstances: %v", err)
+		}
+		if err := w.rt.GC(); err != nil {
+			t.Fatalf("final GC: %v", err)
+		}
+		if err := w.rt.GC(); err != nil {
+			t.Fatalf("second final GC: %v", err)
+		}
+	}
+
+	if a, b := drainSorted(stw), drainSorted(conc); !reflect.DeepEqual(a, b) {
+		t.Fatalf("assertion verdicts differ:\nstw:  %v\nconc: %v", a, b)
+	}
+	if a, b := stw.liveIDs(t), conc.liveIDs(t); !reflect.DeepEqual(a, b) {
+		t.Fatalf("live sets differ:\nstw:  %v\nconc: %v", a, b)
+	}
+	for _, w := range []*diffWorld{stw, conc} {
+		if errs := w.rt.VerifyHeap(); len(errs) != 0 {
+			t.Fatalf("heap corrupt: %v", errs[0])
+		}
+	}
+	s := conc.rt.Stats().Pacer
+	if s.MaxCycleGrowthWords > s.GrowthCapWords {
+		t.Fatalf("cycle growth %d exceeded cap %d", s.MaxCycleGrowthWords, s.GrowthCapWords)
+	}
+}

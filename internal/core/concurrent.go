@@ -1,0 +1,452 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/vmheap"
+)
+
+// Background concurrent collection (Config.ConcurrentGC).
+//
+// The pacer is a goroutine that watches heap occupancy and drives the
+// incremental collector (StartFull / StepMark / FinishFull) in bounded
+// slices under rt.mu, so a mutator only ever waits out one slice, never a
+// full cycle. Scheduling splits three ways:
+//
+//   - Trigger: a cycle starts when used words cross GCTriggerFraction of
+//     capacity and the heap has meaningfully grown since the previous
+//     cycle (re-collecting a heap that is large but idle would spin).
+//
+//   - Background slices: the pacer marks in IncrementalBudget-sized
+//     slices, taking and releasing rt.mu around each so mutators
+//     interleave freely.
+//
+//   - Assists: a mutator entering the allocation slow path while a cycle
+//     is active pays mark work proportional to the heap growth its
+//     allocation causes — the allocation tax of the non-concurrent
+//     incremental mode, levied per buffer refill instead of per object.
+//     When growth would exceed the hard cap (trigger × slack × capacity,
+//     Config.GCAssistSlack) the assist completes the cycle instead, so
+//     mid-cycle heap growth is bounded by construction: the check and the
+//     allocation happen under one rt.mu hold, making the bound exact even
+//     with many mutator threads.
+//
+// Allocation-publication soundness. A concurrent cycle can begin between
+// an allocation returning and the mutator publishing the new Ref into a
+// frame local or object field; the snapshot root scan would miss it and
+// the sweep would reclaim it while a Go variable still holds it. Each
+// thread therefore keeps a small ring of its most recent allocations — a
+// hidden register file — stamped with the heap's sweep epoch, and
+// collectPins turns the stamps into extra roots before every root scan. A
+// stamp equal to the current epoch proves no sweep has run since the
+// allocation, so the Ref is certainly still an object; once pinned, an
+// entry stays pinned (each cycle's trace keeps it alive for the next) until
+// a newer allocation overwrites its slot. The flotsam this retains is
+// bounded at threadPinSlots objects per thread and is dropped by Close.
+// Mutators may hold at most threadPinSlots unpublished allocations across
+// a later allocation on the same thread; published objects are covered by
+// the ordinary roots the moment they are stored.
+
+const (
+	// defaultGCTrigger: a cycle starts when used words exceed this
+	// fraction of heap capacity (Config.GCTriggerFraction overrides).
+	defaultGCTrigger = 0.5
+	// defaultAssistSlack: mid-cycle heap growth is capped at this fraction
+	// of the trigger threshold (Config.GCAssistSlack overrides).
+	defaultAssistSlack = 0.5
+	// defaultConcurrentBudget is the mark-slice size (objects) when
+	// ConcurrentGC is on and Config.IncrementalBudget is 0.
+	defaultConcurrentBudget = 512
+	// pacerPollInterval bounds how stale the trigger check can go when no
+	// allocation wakes the pacer.
+	pacerPollInterval = 500 * time.Microsecond
+	// backgroundSlicesPerDrive bounds the slices one wakeup runs, each
+	// under its own rt.mu hold, before the pacer re-blocks.
+	backgroundSlicesPerDrive = 8
+	// maxAssistSlices bounds the mark slices one assist runs, so an
+	// allocation's worst case is a handful of bounded slices, not a drain.
+	maxAssistSlices = 4
+	// carveSlackWords pads the assist growth check: a carve or allocation
+	// may absorb a remainder smaller than the minimum chunk, so the
+	// pre-allocation bound must leave room for that rounding.
+	carveSlackWords = 16
+	// threadPinSlots is the hidden-register ring size per thread.
+	threadPinSlots = 4
+)
+
+// allocPin is one hidden-register slot: a recently allocated Ref, the
+// sweep epoch it was allocated in, and whether a cycle has pinned it.
+type allocPin struct {
+	ref    Ref
+	epoch  uint64
+	pinned bool
+}
+
+// pinnedRoots is the root source holding the pins collectPins gathered;
+// it is the third member of the runtime's root Multi and is empty unless
+// the pacer is running.
+type pinnedRoots struct {
+	refs []vmheap.Ref
+}
+
+// EachRoot implements roots.Source.
+func (p *pinnedRoots) EachRoot(fn func(slot *vmheap.Ref)) {
+	for i := range p.refs {
+		fn(&p.refs[i])
+	}
+}
+
+// collectPins rebuilds the pinned-root set from every thread's recent
+// allocations. Must run before any root-scanning collection start while
+// the pacer is active; a no-op otherwise. Caller holds rt.mu.
+func (rt *Runtime) collectPins() {
+	if rt.pacer == nil {
+		return
+	}
+	rt.pinned.refs = rt.pinned.refs[:0]
+	epoch := rt.heap.SweepEpoch()
+	for _, t := range rt.allThreads {
+		t.lockBuf()
+		for i := range t.pins {
+			s := &t.pins[i]
+			if s.ref == Nil {
+				continue
+			}
+			// Fresh stamp: no sweep since the allocation, the Ref is
+			// provably still an object. Already pinned: the previous
+			// cycle's trace kept it alive through every sweep since.
+			if s.pinned || s.epoch == epoch {
+				s.pinned = true
+				rt.pinned.refs = append(rt.pinned.refs, s.ref)
+			}
+		}
+		t.unlockBuf()
+	}
+}
+
+// notePin records r in this thread's hidden-register ring. Caller holds
+// bufMu (bump path) or rt.mu (slow path); collectPins reads under both.
+func (t *Thread) notePin(r Ref) {
+	t.pins[t.pinPos] = allocPin{ref: r, epoch: t.rt.heap.SweepEpoch()}
+	t.pinPos = (t.pinPos + 1) % threadPinSlots
+}
+
+// PacerStats counts concurrent-pacer activity (Snapshot.Pacer). All zero
+// unless Config.ConcurrentGC is set.
+type PacerStats struct {
+	Triggers            uint64 // cycles started by the trigger check
+	Cycles              uint64 // cycles completed under pacer control
+	Assists             uint64 // allocation slow paths that paid mark work
+	AssistSlices        uint64 // mark slices run inside assists
+	BackgroundSlices    uint64 // mark slices run by the pacer goroutine
+	ForcedFinishes      uint64 // assists that hit the growth cap and completed the cycle
+	MaxCycleGrowthWords uint64 // largest heap growth observed during any cycle
+	GrowthCapWords      uint64 // the cap MaxCycleGrowthWords never exceeds
+}
+
+// gcPacer is the background collection scheduler. The channels are fixed
+// at construction; everything else is guarded by rt.mu.
+type gcPacer struct {
+	rt           *Runtime
+	triggerWords uint64 // used-words threshold that starts a cycle
+	capWords     uint64 // mid-cycle growth hard cap
+
+	quit chan struct{} // closed by Close to stop run
+	wake chan struct{} // buffered(1); nudged by the allocation slow path
+	done chan struct{} // closed when run exits
+
+	// Guarded by rt.mu.
+	active    bool   // a pacer-started cycle is in flight
+	startFree uint64 // FreeWords at cycle start (buffers flushed, so exact)
+	startWork uint64 // LiveObjects at cycle start: the assist work estimate
+	floorFree uint64 // FreeWords after the last cycle (retrigger baseline)
+	pending   error  // HaltError from a background/assist-completed cycle
+	closed    bool
+	stats     PacerStats
+}
+
+// newPacer sizes the trigger and growth cap from the heap capacity.
+// trigger/slack of 0 take the defaults (Config validation bounds the rest).
+func newPacer(rt *Runtime, trigger, slack float64) *gcPacer {
+	if trigger == 0 {
+		trigger = defaultGCTrigger
+	}
+	if slack == 0 {
+		slack = defaultAssistSlack
+	}
+	capacity := float64(rt.heap.CapacityWords())
+	p := &gcPacer{
+		rt:           rt,
+		triggerWords: uint64(trigger * capacity),
+		capWords:     uint64(trigger * slack * capacity),
+		quit:         make(chan struct{}),
+		wake:         make(chan struct{}, 1),
+		done:         make(chan struct{}),
+	}
+	// Floor the cap so tiny heaps still make forward progress between
+	// forced finishes (a cap below one carve would finish a cycle on
+	// every slow-path allocation).
+	if p.capWords < 4*carveSlackWords {
+		p.capWords = 4 * carveSlackWords
+	}
+	p.stats.GrowthCapWords = p.capWords
+	return p
+}
+
+// run is the pacer goroutine: wake on an allocation nudge or the poll
+// tick, drive, repeat until Close.
+func (p *gcPacer) run() {
+	defer close(p.done)
+	tick := time.NewTicker(pacerPollInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-p.wake:
+		case <-tick.C:
+		}
+		p.drive()
+	}
+}
+
+// drive runs up to backgroundSlicesPerDrive units of pacer work, taking
+// and releasing rt.mu around each so mutators interleave.
+func (p *gcPacer) drive() {
+	for i := 0; i < backgroundSlicesPerDrive; i++ {
+		p.rt.mu.Lock()
+		if p.closed {
+			p.rt.mu.Unlock()
+			return
+		}
+		var progress bool
+		if !p.active {
+			progress = p.startLocked()
+		} else {
+			done := p.rt.collector.StepMark()
+			p.stats.BackgroundSlices++
+			if done {
+				p.finishLocked()
+			}
+			progress = true
+		}
+		p.rt.mu.Unlock()
+		if !progress {
+			return
+		}
+	}
+}
+
+// maybeWake nudges the pacer without blocking; the allocation slow path
+// calls it so a burst is noticed before the next poll tick.
+func (p *gcPacer) maybeWake() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// minRetrigger is the heap growth required since the last cycle before
+// the trigger may fire again.
+func (p *gcPacer) minRetrigger() uint64 {
+	if m := p.capWords / 4; m > 64 {
+		return m
+	}
+	return 64
+}
+
+// startLocked fires the trigger check and begins a cycle when it passes.
+// Reports whether a cycle was started. Caller holds rt.mu.
+func (p *gcPacer) startLocked() bool {
+	if p.active || p.pending != nil {
+		return false
+	}
+	h := p.rt.heap
+	used := h.CapacityWords() - h.FreeWords()
+	if used < p.triggerWords {
+		return false
+	}
+	if p.floorFree > 0 && h.FreeWords()+p.minRetrigger() > p.floorFree {
+		// Over the threshold but not growing: a live heap this size is
+		// the program's steady state, and re-collecting it would spin.
+		return false
+	}
+	// Flush strictly before collecting pins: retiring every buffer closes
+	// the bump path (the next allocation needs rt.mu), so no thread can
+	// slip a new unpinned allocation in between the pin read and the root
+	// scan. The reverse order has exactly that window.
+	p.rt.flushAllocBuffers()
+	used = h.CapacityWords() - h.FreeWords()
+	if used < p.triggerWords {
+		return false // retired buffer tails brought occupancy back under
+	}
+	p.rt.collectPins()
+	p.rt.tele.Trigger(used, p.triggerWords)
+	p.stats.Triggers++
+	if err := p.rt.collector.StartFull(); err != nil {
+		p.pending = err
+		return false
+	}
+	p.active = true
+	p.startFree = h.FreeWords()
+	p.startWork = h.LiveObjects()
+	return true
+}
+
+// growthLocked measures heap growth since the cycle started (active
+// buffers count in full from their carve, which only overstates) and
+// records the running maximum. Caller holds rt.mu with a cycle active.
+func (p *gcPacer) growthLocked() uint64 {
+	free := p.rt.heap.FreeWords()
+	if free >= p.startFree {
+		return 0
+	}
+	g := p.startFree - free
+	if g > p.stats.MaxCycleGrowthWords {
+		p.stats.MaxCycleGrowthWords = g
+	}
+	return g
+}
+
+// finishLocked completes the in-flight cycle: growth is recorded before
+// the sweep resets it, buffers are retired (the sweep parses the arena),
+// and a HaltError is stashed for the next runtime entry point — the
+// background goroutine and the allocation that hit the growth cap have no
+// caller to return it to. Caller holds rt.mu.
+func (p *gcPacer) finishLocked() {
+	p.growthLocked()
+	p.rt.flushAllocBuffers()
+	if err := p.rt.collector.FinishFull(); err != nil {
+		p.pending = err
+	}
+	p.active = false
+	p.floorFree = p.rt.heap.FreeWords()
+	p.stats.Cycles++
+}
+
+// allocPacingLocked is the allocation slow path's pacing hook: start a
+// cycle if the trigger has been crossed (the background goroutine may not
+// win rt.mu against a tight allocation loop, so the trigger must also fire
+// from the path that causes the growth), then pay the assist tax. A no-op
+// after Close: the quiesced runtime schedules no new cycles. Caller holds
+// rt.mu.
+func (p *gcPacer) allocPacingLocked(need uint64) {
+	if p.closed {
+		return
+	}
+	if !p.active {
+		p.startLocked()
+	}
+	p.assistLocked(need)
+}
+
+// assistLocked is the mutator tax, called from the allocation slow path
+// before the allocation with the words it is about to consume (object or
+// buffer carve). The proportional schedule: by the time the heap has
+// grown by G of the allowed capWords, the cycle must have marked G/cap of
+// the estimated total work, so marking provably finishes before the cap
+// unless the estimate was low — in which case the hard-cap branch
+// completes the cycle in one (bounded, sweep-arm) pause. Caller holds
+// rt.mu.
+func (p *gcPacer) assistLocked(need uint64) {
+	if !p.active {
+		return
+	}
+	growth := p.growthLocked()
+	if growth+need+carveSlackWords > p.capWords {
+		// Completing the cycle is the only way to respect the cap: the
+		// sweep ends growth accounting and replenishes free space.
+		p.stats.ForcedFinishes++
+		p.finishLocked()
+		return
+	}
+	required := uint64(float64(p.startWork) * float64(growth+need) / float64(p.capWords))
+	if p.rt.collector.CycleMarked() >= required {
+		return
+	}
+	begin := time.Now()
+	var slices uint64
+	for slices < maxAssistSlices {
+		slices++
+		if p.rt.collector.StepMark() {
+			p.finishLocked()
+			break
+		}
+		if p.rt.collector.CycleMarked() >= required {
+			break
+		}
+	}
+	p.stats.Assists++
+	p.stats.AssistSlices += slices
+	p.rt.tele.Assist(time.Since(begin), slices)
+}
+
+// takePacerPending consumes a stashed background HaltError. Caller holds
+// rt.mu; a no-op returning nil without the pacer.
+func (rt *Runtime) takePacerPending() error {
+	if rt.pacer == nil {
+		return nil
+	}
+	err := rt.pacer.pending
+	rt.pacer.pending = nil
+	return err
+}
+
+// settlePacerCycleLocked completes any pacer-started cycle through the
+// pacer before an explicit collection entry point takes over, and surfaces
+// any stashed background error. Finishing through the pacer (rather than
+// letting the entry point's FinishFull/CollectFull complete the cycle
+// behind its back) keeps the growth ledger, the cycle count, and the
+// retrigger baseline truthful — and leaves the entry point a quiet heap on
+// which to run its own collection with a fresh snapshot. Caller holds
+// rt.mu; a no-op without the pacer.
+func (rt *Runtime) settlePacerCycleLocked() error {
+	if rt.pacer != nil && rt.pacer.active {
+		rt.pacer.finishLocked()
+	}
+	return rt.takePacerPending()
+}
+
+// Close stops the background pacer goroutine, completes any in-flight
+// cycle, and returns its result (including a HaltError stashed from an
+// earlier background-completed cycle). Mutator threads must have
+// quiesced: Close drops the hidden-register pins, after which the runtime
+// behaves exactly like its non-concurrent equivalent — explicit GC calls,
+// stats, and assertion checks all remain usable. Safe to call more than
+// once; a no-op returning nil when ConcurrentGC was never configured.
+func (rt *Runtime) Close() error {
+	rt.mu.Lock()
+	p := rt.pacer
+	if p == nil {
+		rt.mu.Unlock()
+		return nil
+	}
+	already := p.closed
+	p.closed = true
+	rt.mu.Unlock()
+	if !already {
+		close(p.quit)
+	}
+	<-p.done
+
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, t := range rt.allThreads {
+		t.lockBuf()
+		t.pins = [threadPinSlots]allocPin{}
+		t.unlockBuf()
+	}
+	rt.pinned.refs = rt.pinned.refs[:0]
+	if p.active {
+		// Complete the in-flight cycle through the pacer so the final
+		// cycle is counted and its growth recorded.
+		p.finishLocked()
+		return rt.takePacerPending()
+	}
+	rt.flushAllocBuffers()
+	err := rt.collector.FinishFull()
+	if perr := rt.takePacerPending(); err == nil {
+		err = perr
+	}
+	return err
+}

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/vmheap"
+
 // Field and array accessors. Reference stores go through the collector's
 // write barriers: the generational barrier (a no-op for mark-sweep,
 // remembered-set maintenance for the generational collector) and the
@@ -15,6 +17,7 @@ package core
 func (rt *Runtime) GetRef(obj Ref, off uint16) Ref {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.checkField(obj, off)
 	return rt.heap.RefAt(obj, uint32(off))
 }
 
@@ -22,6 +25,7 @@ func (rt *Runtime) GetRef(obj Ref, off uint16) Ref {
 func (rt *Runtime) SetRef(obj Ref, off uint16, val Ref) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.checkField(obj, off)
 	rt.collector.WriteBarrier(obj)
 	rt.collector.SnapshotBarrier(obj)
 	rt.heap.SetRefAt(obj, uint32(off), val)
@@ -31,6 +35,7 @@ func (rt *Runtime) SetRef(obj Ref, off uint16, val Ref) {
 func (rt *Runtime) GetData(obj Ref, off uint16) uint64 {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.checkField(obj, off)
 	return rt.heap.Word(obj, uint32(off))
 }
 
@@ -38,6 +43,7 @@ func (rt *Runtime) GetData(obj Ref, off uint16) uint64 {
 func (rt *Runtime) SetData(obj Ref, off uint16, v uint64) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.checkField(obj, off)
 	rt.heap.SetWord(obj, uint32(off), v)
 }
 
@@ -100,6 +106,19 @@ func (rt *Runtime) checkIndex(arr Ref, i int) {
 	}
 }
 
+// checkField panics with a FieldError unless obj is a class instance and
+// off addresses one of its field words — the field accessors' counterpart
+// of checkIndex. Without it a field access through a mistyped reference
+// (an array, say) silently reads or overwrites another object's header or
+// an array's length word, corrupting the heap in a way that only surfaces
+// collections later.
+func (rt *Runtime) checkField(obj Ref, off uint16) {
+	if rt.heap.KindOf(obj) != vmheap.KindScalar || off == 0 ||
+		uint32(off) > rt.reg.ByID(rt.heap.ClassID(obj)).FieldWords {
+		panic(&FieldError{Obj: obj, Off: off})
+	}
+}
+
 // IndexError is the panic value for out-of-bounds array accesses.
 type IndexError struct {
 	Index, Len int
@@ -108,4 +127,16 @@ type IndexError struct {
 // Error implements the error interface.
 func (e *IndexError) Error() string {
 	return "core: array index out of range"
+}
+
+// FieldError is the panic value for a field access on a non-instance object
+// or at an offset outside the instance's fields.
+type FieldError struct {
+	Obj Ref
+	Off uint16
+}
+
+// Error implements the error interface.
+func (e *FieldError) Error() string {
+	return "core: field access outside an instance's fields"
 }

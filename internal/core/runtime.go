@@ -102,6 +102,28 @@ type Config struct {
 	// Requires Infrastructure mode; mutually exclusive with
 	// TraceWorkers >= 2 (the incremental worklist is single-threaded).
 	IncrementalBudget int
+	// ConcurrentGC runs collection on a background pacer goroutine
+	// (concurrent.go): a cycle is triggered when heap occupancy crosses
+	// GCTriggerFraction, marking proceeds in IncrementalBudget-sized
+	// slices interleaved with mutator work, and mutators that outrun the
+	// tracer pay bounded assists at their next allocation slow path
+	// instead of stalling for a full collection. Mid-cycle heap growth is
+	// hard-capped at GCTriggerFraction × GCAssistSlack × capacity.
+	// Requires Infrastructure mode; excludes TraceWorkers >= 2; an
+	// IncrementalBudget of 0 defaults to 512. The runtime owns a goroutine
+	// while this is set — call Runtime.Close (after mutators quiesce) to
+	// stop it and surface any background HaltError. Off by default: all
+	// published figures use the paper's synchronous collections.
+	ConcurrentGC bool
+	// GCTriggerFraction is the used-words fraction of heap capacity that
+	// triggers a concurrent cycle. 0 defaults to 0.5; must be in (0, 1).
+	// Requires ConcurrentGC.
+	GCTriggerFraction float64
+	// GCAssistSlack caps mid-cycle heap growth at this fraction of the
+	// trigger threshold; when growth would exceed the cap, the allocating
+	// mutator completes the cycle instead. 0 defaults to 0.5; must be
+	// positive. Requires ConcurrentGC.
+	GCAssistSlack float64
 	// SweepWorkers sets the sweep-phase worker count. 0 or 1 keeps the
 	// eager serial sweep (the paper's configuration; all published figures
 	// use it, and it is byte-identical to the pre-segmentation code);
@@ -172,6 +194,13 @@ type Runtime struct {
 	incremental   bool
 	allThreads    []*Thread
 
+	// Concurrent mode (Config.ConcurrentGC): pacer is the background
+	// collection scheduler (nil otherwise — the field is immutable after
+	// New, so the nil check needs no lock), and pinned holds the
+	// hidden-register roots collectPins gathers before each root scan.
+	pacer  *gcPacer
+	pinned pinnedRoots
+
 	// multiMutator is false until NewThread first runs and true forever
 	// after. While false the runtime has exactly one mutator thread, owned
 	// by the goroutine that created the runtime, so the bump-allocation
@@ -191,6 +220,22 @@ func (rt *Runtime) rootSource() roots.Source { return rt.rootSrc }
 func New(cfg Config) *Runtime {
 	if cfg.IncrementalBudget < 0 {
 		panic("core: IncrementalBudget must not be negative")
+	}
+	if cfg.ConcurrentGC {
+		if cfg.Mode != Infrastructure {
+			panic("core: ConcurrentGC requires Infrastructure mode")
+		}
+		if cfg.GCTriggerFraction < 0 || cfg.GCTriggerFraction >= 1 {
+			panic("core: GCTriggerFraction must be in (0, 1)")
+		}
+		if cfg.GCAssistSlack < 0 {
+			panic("core: GCAssistSlack must be positive")
+		}
+		if cfg.IncrementalBudget == 0 {
+			cfg.IncrementalBudget = defaultConcurrentBudget
+		}
+	} else if cfg.GCTriggerFraction != 0 || cfg.GCAssistSlack != 0 {
+		panic("core: GCTriggerFraction and GCAssistSlack require ConcurrentGC")
 	}
 	if cfg.IncrementalBudget > 0 {
 		if cfg.Mode != Infrastructure {
@@ -223,7 +268,7 @@ func New(cfg Config) *Runtime {
 		mode:     cfg.Mode,
 		recorder: &report.Recorder{},
 	}
-	rt.rootSrc = roots.Multi{rt.globals, rt.threads}
+	rt.rootSrc = roots.Multi{rt.globals, rt.threads, &rt.pinned}
 	src := rt.rootSrc
 
 	if cfg.Telemetry != nil {
@@ -253,11 +298,13 @@ func New(cfg Config) *Runtime {
 		ms := gc.NewMarkSweep(rt.heap, rt.reg, src, cfg.Mode, rt.engine)
 		ms.TraceWorkers = cfg.TraceWorkers
 		ms.IncrementalBudget = cfg.IncrementalBudget
+		ms.ConcurrentPacing = cfg.ConcurrentGC
 		rt.collector = ms
 	case Generational:
 		g := gc.NewGenerational(rt.heap, rt.reg, src, cfg.Mode, rt.engine)
 		g.TraceWorkers = cfg.TraceWorkers
 		g.IncrementalBudget = cfg.IncrementalBudget
+		g.ConcurrentPacing = cfg.ConcurrentGC
 		if cfg.GenMajorEvery > 0 {
 			g.MajorEvery = cfg.GenMajorEvery
 		}
@@ -277,6 +324,15 @@ func New(cfg Config) *Runtime {
 
 	rt.main = &Thread{rt: rt, th: rt.threads.New("main")}
 	rt.allThreads = append(rt.allThreads, rt.main)
+
+	if cfg.ConcurrentGC {
+		// The pacer goroutine is a second accessor of every thread's
+		// allocation buffer and hidden registers, so the single-mutator
+		// lock elision is never sound in this mode.
+		rt.multiMutator.Store(true)
+		rt.pacer = newPacer(rt, cfg.GCTriggerFraction, cfg.GCAssistSlack)
+		go rt.pacer.run()
+	}
 	return rt
 }
 
@@ -366,7 +422,13 @@ func (g *Global) Set(r Ref) {
 func (rt *Runtime) GC() error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if err := rt.settlePacerCycleLocked(); err != nil {
+		return err
+	}
+	// Flush before collecting pins (see startLocked): once every buffer is
+	// retired no thread can add an unpinned allocation before the root scan.
 	rt.flushAllocBuffers()
+	rt.collectPins()
 	return rt.collector.CollectFull()
 }
 
@@ -376,7 +438,13 @@ func (rt *Runtime) GC() error {
 func (rt *Runtime) Collect() error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if err := rt.settlePacerCycleLocked(); err != nil {
+		return err
+	}
+	// Flush before collecting pins (see startLocked): once every buffer is
+	// retired no thread can add an unpinned allocation before the root scan.
 	rt.flushAllocBuffers()
+	rt.collectPins()
 	return rt.collector.Collect()
 }
 
@@ -389,7 +457,13 @@ func (rt *Runtime) Collect() error {
 func (rt *Runtime) StartGC() error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if err := rt.settlePacerCycleLocked(); err != nil {
+		return err
+	}
+	// Flush before collecting pins (see startLocked): once every buffer is
+	// retired no thread can add an unpinned allocation before the root scan.
 	rt.flushAllocBuffers()
+	rt.collectPins()
 	return rt.collector.StartFull()
 }
 
@@ -400,6 +474,12 @@ func (rt *Runtime) StartGC() error {
 func (rt *Runtime) GCStep() (done bool, err error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	// A step that drains the worklist sweeps; under the pacer that must go
+	// through its ledger, so settle the whole cycle instead of stepping it
+	// behind the pacer's back.
+	if err := rt.settlePacerCycleLocked(); err != nil {
+		return true, err
+	}
 	rt.flushAllocBuffers()
 	return rt.collector.StepFull()
 }
@@ -412,6 +492,9 @@ func (rt *Runtime) GCStep() (done bool, err error) {
 func (rt *Runtime) FinishGC() error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if err := rt.settlePacerCycleLocked(); err != nil {
+		return err
+	}
 	rt.flushAllocBuffers()
 	return rt.collector.FinishFull()
 }

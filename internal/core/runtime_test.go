@@ -467,3 +467,38 @@ func TestArrayBoundsCheck(t *testing.T) {
 	}()
 	rt.ArrGetRef(arr, 3)
 }
+
+// TestFieldBoundsCheck pins the field accessors' kind/offset guard: a field
+// access routed at an array (which would silently overwrite the length
+// word) or past an instance's last field must panic with a FieldError
+// instead of corrupting the heap.
+func TestFieldBoundsCheck(t *testing.T) {
+	rt := newRT(t, 1<<12)
+	node := rt.DefineClass("FNode", RefField("a"), DataField("d"))
+	aOff := node.MustFieldIndex("a")
+	th := rt.MainThread()
+	obj := th.New(node)
+	arr := th.NewRefArray(3)
+
+	wantPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			t.Helper()
+			if _, ok := recover().(*FieldError); !ok {
+				t.Errorf("%s: no FieldError", name)
+			}
+		}()
+		f()
+	}
+	wantPanic("SetRef on array", func() { rt.SetRef(arr, aOff, obj) })
+	wantPanic("GetRef on array", func() { rt.GetRef(arr, aOff) })
+	wantPanic("SetData on array", func() { rt.SetData(arr, aOff, 7) })
+	wantPanic("SetRef at offset 0", func() { rt.SetRef(obj, 0, obj) })
+	wantPanic("SetRef past last field", func() { rt.SetRef(obj, uint16(node.FieldWords)+1, obj) })
+
+	// In-bounds accesses still work.
+	rt.SetRef(obj, aOff, obj)
+	if got := rt.GetRef(obj, aOff); got != obj {
+		t.Errorf("GetRef after SetRef = %d, want %d", got, obj)
+	}
+}

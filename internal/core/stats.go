@@ -30,6 +30,9 @@ type Snapshot struct {
 	// Sweep counts lazy/parallel sweep activity; all zero under the
 	// default eager serial sweep.
 	Sweep vmheap.SweepModeStats
+	// Pacer counts concurrent-collection activity; all zero without
+	// Config.ConcurrentGC.
+	Pacer PacerStats
 }
 
 // Stats returns a consistent snapshot of heap, collector and assertion
@@ -70,6 +73,9 @@ func (rt *Runtime) Stats() Snapshot {
 	}
 	if rt.engine != nil {
 		s.Asserts = rt.engine.Stats()
+	}
+	if rt.pacer != nil {
+		s.Pacer = rt.pacer.stats
 	}
 	return s
 }

@@ -46,6 +46,14 @@ type Thread struct {
 	buf        vmheap.AllocBuffer
 	bufMu      atomic.Int32
 	regionFrom uint32
+
+	// Hidden-register pins (concurrent.go): the thread's most recent
+	// allocations, stamped with the sweep epoch they were born in, so a
+	// concurrently starting cycle can root them before the mutator has
+	// published them. Written under bufMu (bump path) or rt.mu (slow
+	// path); collectPins reads under both. Unused unless ConcurrentGC.
+	pins   [threadPinSlots]allocPin
+	pinPos uint8
 }
 
 // lockBuf claims the buffer spinlock. Hold times are a handful of
@@ -167,6 +175,9 @@ func (t *Thread) alloc(kind vmheap.Kind, classID uint32, n uint32) (Ref, error) 
 		} else {
 			t.lockBuf()
 			r, ok := t.buf.Alloc(kind, classID, n)
+			if ok && rt.pacer != nil {
+				t.notePin(r)
+			}
 			t.unlockBuf()
 			if ok {
 				return r, nil
@@ -184,6 +195,18 @@ func (t *Thread) allocSlow(kind vmheap.Kind, classID uint32, n uint32) (Ref, err
 	rt := t.rt
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+
+	if rt.pacer != nil {
+		// Surface a HaltError from a background-completed cycle, then run
+		// the pacing hook — trigger check plus assist tax — for the words
+		// this allocation is about to consume (the object, plus a buffer
+		// carve if one will happen).
+		if err := rt.takePacerPending(); err != nil {
+			return Nil, err
+		}
+		rt.pacer.allocPacingLocked(uint64(vmheap.ObjectWords(kind, n)) + uint64(rt.allocBufWords))
+		defer rt.pacer.maybeWake()
+	}
 
 	if rt.allocBufWords > 0 {
 		if r, ok := t.refillAlloc(kind, classID, n); ok {
@@ -203,6 +226,9 @@ func (t *Thread) allocSlow(kind vmheap.Kind, classID uint32, n uint32) (Ref, err
 		r, err = rt.heap.Alloc(kind, classID, n)
 	}
 	if err == vmheap.ErrHeapExhausted {
+		// The collection about to run scans roots; other threads may hold
+		// unpublished allocations (concurrent.go).
+		rt.collectPins()
 		if cerr := rt.collector.Collect(); cerr != nil {
 			return Nil, cerr
 		}
@@ -232,11 +258,17 @@ func (t *Thread) allocSlow(kind vmheap.Kind, classID uint32, n uint32) (Ref, err
 	}
 	t.th.CountAlloc()
 
+	if rt.pacer != nil {
+		t.notePin(r)
+	}
+
 	// Incremental mode (a no-op otherwise): start a cycle when free space
 	// runs low, allocate black during an active cycle, and pay one mark
 	// slice as an allocation tax. A tax slice can complete the cycle and
-	// sweep, so any outstanding buffers must be retired first.
-	if rt.incremental {
+	// sweep, so any outstanding buffers must be retired first. Under the
+	// pacer the hook only blackens (cycle scheduling and the tax are the
+	// pacer's), so no retirement is needed.
+	if rt.incremental && rt.pacer == nil {
 		rt.flushAllocBuffers()
 	}
 	rt.collector.DidAllocate(r)
@@ -260,11 +292,13 @@ func (t *Thread) refillAlloc(kind vmheap.Kind, classID uint32, n uint32) (Ref, b
 		return Nil, false
 	}
 	t.flushBuffer()
-	if rt.incremental {
+	if rt.incremental && rt.pacer == nil {
 		// The refill is the batched equivalent of the direct path's
 		// per-allocation trigger check. Starting a cycle requires every
 		// buffer retired (the cycle ends in a heap parse), and while one
-		// is active allocation stays on the direct path.
+		// is active allocation stays on the direct path. Under the pacer
+		// neither applies: triggering is the pacer's growth check, and
+		// mid-cycle carves proceed (born black, below).
 		if rt.collector.IncrementalActive() {
 			return Nil, false
 		}
@@ -277,12 +311,24 @@ func (t *Thread) refillAlloc(kind vmheap.Kind, classID uint32, n uint32) (Ref, b
 	if !rt.heap.CarveBuffer(&t.buf, need, rt.allocBufWords) {
 		return Nil, false
 	}
+	if rt.pacer != nil && rt.collector.IncrementalActive() {
+		// Mid-cycle carve: every object bump-allocated from this buffer
+		// is born black (no snapshot reference can reach it, and its
+		// slots hold nothing to scan), keeping the fast path one header
+		// store without a per-object collector call. Retire zeroes the
+		// mask, and every cycle boundary retires all buffers, so the
+		// flags can never go stale across cycles.
+		t.buf.SetAllocFlags(vmheap.FlagMark | vmheap.FlagScanned)
+	}
 	if t.th.InRegion() {
 		t.regionFrom = t.buf.Pos()
 	}
 	r, ok := t.buf.Alloc(kind, classID, n)
 	if !ok {
 		panic("core: fresh allocation buffer cannot satisfy its triggering allocation")
+	}
+	if rt.pacer != nil {
+		t.notePin(r)
 	}
 	return r, ok
 }

@@ -70,8 +70,8 @@ type Stats struct {
 	LastLiveWords uint64
 
 	// Parallel-trace totals; all zero when TraceWorkers <= 1.
-	ParallelTraces uint64 // collections whose mark phase ran parallel
-	TraceFallbacks uint64 // parallel traces that re-ran serially to report
+	ParallelTraces uint64   // collections whose mark phase ran parallel
+	TraceFallbacks uint64   // parallel traces that re-ran serially to report
 	WorkerScans    []uint64 // cumulative objects scanned, by worker index
 	WorkerSteals   []uint64 // cumulative successful steals, by worker index
 
@@ -216,6 +216,18 @@ type Collector interface {
 	// caller must have retired every allocation buffer first. A no-op
 	// unless incremental mode is configured.
 	DidRefill()
+
+	// StepMark runs one bounded mark slice of an in-flight cycle WITHOUT
+	// finishing it when the worklist drains — it only reports the drain.
+	// The concurrent pacer uses this to separate mark progress (safe from
+	// its own slice loop) from cycle completion (which sweeps, and so must
+	// happen at a point where every allocation buffer has been retired).
+	// With no cycle active it reports true.
+	StepMark() bool
+	// CycleMarked returns the number of objects marked so far by the
+	// current (or, after it finishes, most recent) trace. The pacer's
+	// assist schedule is proportional in this figure.
+	CycleMarked() uint64
 }
 
 // MarkSweep is the full-heap mark-sweep collector the paper evaluates.
@@ -240,6 +252,12 @@ type MarkSweep struct {
 	// keeps the paper's stop-the-world collections. Mutually exclusive
 	// with TraceWorkers >= 2 (enforced by core.New).
 	IncrementalBudget int
+
+	// ConcurrentPacing hands cycle scheduling to core's background pacer:
+	// DidAllocate stops starting cycles or levying the allocation tax (the
+	// pacer triggers on heap growth and taxes via assists), and DidRefill
+	// becomes a no-op. Requires IncrementalBudget > 0.
+	ConcurrentPacing bool
 
 	inc incCycle
 
@@ -281,15 +299,16 @@ func (c *MarkSweep) WriteBarrier(vmheap.Ref) {}
 // incParts assembles the shared incremental driver over this collector.
 func (c *MarkSweep) incParts() incShared {
 	return incShared{
-		heap:   c.heap,
-		tracer: c.tracer,
-		engine: c.engine,
-		roots:  c.roots,
-		mode:   c.mode,
-		stats:  &c.stats,
-		st:     &c.inc,
-		budget: c.IncrementalBudget,
-		tele:   c.tele,
+		heap:       c.heap,
+		tracer:     c.tracer,
+		engine:     c.engine,
+		roots:      c.roots,
+		mode:       c.mode,
+		stats:      &c.stats,
+		st:         &c.inc,
+		budget:     c.IncrementalBudget,
+		concurrent: c.ConcurrentPacing,
+		tele:       c.tele,
 		finishSweep: func(clear uint64, onFree func(vmheap.Ref, uint64)) vmheap.SweepStats {
 			return c.heap.Sweep(vmheap.SweepOptions{ClearFlags: clear, OnFree: onFree})
 		},
@@ -344,6 +363,12 @@ func (c *MarkSweep) DidRefill() {
 	}
 	c.incParts().didRefill()
 }
+
+// StepMark implements Collector: one mark slice without cycle completion.
+func (c *MarkSweep) StepMark() bool { return c.incParts().stepMark() }
+
+// CycleMarked implements Collector.
+func (c *MarkSweep) CycleMarked() uint64 { return c.tracer.Stats().Visited }
 
 // Collect implements Collector: every MarkSweep collection is full-heap.
 func (c *MarkSweep) Collect() error { return c.CollectFull() }

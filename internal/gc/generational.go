@@ -54,6 +54,10 @@ type Generational struct {
 	// major's snapshot still references.
 	IncrementalBudget int
 
+	// ConcurrentPacing hands major-cycle scheduling to core's background
+	// pacer (see MarkSweep.ConcurrentPacing).
+	ConcurrentPacing bool
+
 	inc incCycle
 
 	minorsSinceMajor int
@@ -120,15 +124,16 @@ func (c *Generational) WriteBarrier(parent vmheap.Ref) {
 // and the remembered set is dropped.
 func (c *Generational) incParts() incShared {
 	return incShared{
-		heap:   c.heap,
-		tracer: c.tracer,
-		engine: c.engine,
-		roots:  c.roots,
-		mode:   c.mode,
-		stats:  &c.stats,
-		st:     &c.inc,
-		budget: c.IncrementalBudget,
-		tele:   c.tele,
+		heap:       c.heap,
+		tracer:     c.tracer,
+		engine:     c.engine,
+		roots:      c.roots,
+		mode:       c.mode,
+		stats:      &c.stats,
+		st:         &c.inc,
+		budget:     c.IncrementalBudget,
+		concurrent: c.ConcurrentPacing,
+		tele:       c.tele,
 		finishSweep: func(clear uint64, onFree func(vmheap.Ref, uint64)) vmheap.SweepStats {
 			c.dropRememberedSet()
 			sw := c.heap.Sweep(vmheap.SweepOptions{
@@ -188,6 +193,12 @@ func (c *Generational) DidRefill() {
 	}
 	c.incParts().didRefill()
 }
+
+// StepMark implements Collector: one mark slice without cycle completion.
+func (c *Generational) StepMark() bool { return c.incParts().stepMark() }
+
+// CycleMarked implements Collector.
+func (c *Generational) CycleMarked() uint64 { return c.tracer.Stats().Visited }
 
 // Collect implements Collector: minor by default, escalating to major per
 // policy. While a major incremental cycle is in flight the policy is

@@ -48,6 +48,7 @@ type incShared struct {
 	stats       *Stats
 	st          *incCycle
 	budget      int
+	concurrent  bool
 	tele        *telemetry.Recorder
 	finishSweep func(clear uint64, onFree func(vmheap.Ref, uint64)) vmheap.SweepStats
 }
@@ -113,6 +114,24 @@ func (p incShared) step() (bool, error) {
 		return true, p.finish()
 	}
 	return false, nil
+}
+
+// stepMark runs one bounded mark slice without completing the cycle when
+// the worklist drains: it reports the drain and leaves completion to the
+// caller, which must first retire every allocation buffer (the sweep walks
+// the arena). With no cycle active it reports true immediately.
+func (p incShared) stepMark() bool {
+	if !p.st.active {
+		return true
+	}
+	begin := time.Now()
+	done := p.tracer.IncrementalSlice(p.budget)
+	p.stats.MarkSlices++
+	d := time.Since(begin)
+	p.tele.Span(telemetry.PhaseIncSlice, d)
+	p.tele.Pause(d)
+	p.stats.addIncrementalWork(d)
+	return done
 }
 
 // finish drives an active cycle to completion in one pause: terminal drain
@@ -192,6 +211,15 @@ func (p incShared) snapshotBarrier(obj vmheap.Ref) {
 // allocation tax. A HaltError from a tax-completed cycle is stashed for the
 // next entry point — the allocation itself already succeeded.
 func (p incShared) didAllocate(r vmheap.Ref) {
+	if p.concurrent {
+		// The background pacer owns cycle starts and the allocation tax
+		// (levied as assists at buffer-refill boundaries); this hook only
+		// keeps mid-cycle direct allocations black.
+		if p.st.active {
+			p.heap.SetFlags(r, vmheap.FlagMark|vmheap.FlagScanned)
+		}
+		return
+	}
 	if !p.st.active {
 		if float64(p.heap.FreeWords()) >= incTriggerFraction*float64(p.heap.CapacityWords()) {
 			return
@@ -210,6 +238,10 @@ func (p incShared) didAllocate(r vmheap.Ref) {
 // — while a cycle is active the runtime routes allocation to the direct
 // path, whose didAllocate pays both.
 func (p incShared) didRefill() {
+	if p.concurrent {
+		// Trigger decisions belong to the pacer's heap-growth check.
+		return
+	}
 	if p.st.active {
 		return
 	}

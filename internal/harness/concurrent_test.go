@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// testConcurrentPacing is a shrunk configuration: a heap small enough that
+// the stop-the-world baseline collects and every pacer variant completes
+// cycles, with few enough ops to keep the test fast.
+var testConcurrentPacing = ConcurrentPacingConfig{
+	HeapWords: 1 << 14,
+	AllocBuf:  128,
+	Ops:       30_000,
+	Seed:      7,
+	Variants: []ConcurrentVariant{
+		{Name: "stw"},
+		{Name: "conc-default", Concurrent: true},
+		{Name: "conc-tight", Concurrent: true, Trigger: 0.5, Slack: 0.25},
+	},
+}
+
+func TestRunConcurrentPacing(t *testing.T) {
+	rows := RunConcurrentPacing(testConcurrentPacing, nil)
+	if len(rows) != len(testConcurrentPacing.Variants) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(testConcurrentPacing.Variants))
+	}
+	for i, r := range rows {
+		v := testConcurrentPacing.Variants[i]
+		if r.Name != v.Name {
+			t.Errorf("row %d: name %q, want %q", i, r.Name, v.Name)
+		}
+		if r.OpsPerMS <= 0 || r.Wall <= 0 {
+			t.Errorf("%s: no throughput measured: %+v", r.Name, r)
+		}
+		if r.Cycles == 0 {
+			t.Errorf("%s: no collection cycle ever completed", r.Name)
+		}
+		if r.P50 > r.P95 || r.P95 > r.P99 || r.P99 > r.Max {
+			t.Errorf("%s: percentiles not monotone: %+v", r.Name, r)
+		}
+		if v.Concurrent {
+			// The assist hard cap is the pacer's soundness invariant; the
+			// report must never show a cycle past it.
+			if r.GrowthFrac > 1.0 {
+				t.Errorf("%s: cycle growth exceeded the assist cap: %.2f", r.Name, r.GrowthFrac)
+			}
+		} else if r.Assists != 0 || r.ForcedFinishes != 0 {
+			t.Errorf("%s: baseline reported pacer counters: %+v", r.Name, r)
+		}
+	}
+}
+
+func TestFormatConcurrentPacing(t *testing.T) {
+	rows := []ConcurrentRow{
+		{Name: "stw", OpsPerMS: 1000, Cycles: 12},
+		{Name: "conc-default", OpsPerMS: 900, Cycles: 9, Assists: 40, GrowthFrac: 0.5},
+	}
+	out := FormatConcurrentPacing(rows)
+	for _, want := range []string{"stw", "conc-default", "ops/ms", "p99-us", "0.90x", "50%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -60,6 +60,16 @@ func (r *Recorder) appendEventJSON(buf []byte, e *Event) []byte {
 		}
 		buf = append(buf, name...)
 		buf = append(buf, '"')
+	case KindTrigger:
+		buf = append(buf, `,"used":`...)
+		buf = strconv.AppendUint(buf, e.Value, 10)
+		buf = append(buf, `,"trigger":`...)
+		buf = strconv.AppendUint(buf, e.Value2, 10)
+	case KindAssist:
+		buf = append(buf, `,"dur_ns":`...)
+		buf = strconv.AppendUint(buf, e.Value, 10)
+		buf = append(buf, `,"slices":`...)
+		buf = strconv.AppendUint(buf, e.Value2, 10)
 	}
 	return append(buf, "}\n"...)
 }
@@ -75,6 +85,9 @@ type FileEvent struct {
 	Words    uint64 `json:"words,omitempty"`
 	Tail     uint64 `json:"tail,omitempty"`
 	Kind     string `json:"kind,omitempty"`
+	Used     uint64 `json:"used,omitempty"`
+	Trigger  uint64 `json:"trigger,omitempty"`
+	Slices   uint64 `json:"slices,omitempty"`
 }
 
 // ReadEvents decodes an NDJSON event stream. Blank lines are skipped; a
@@ -127,6 +140,8 @@ type Summary struct {
 	Retires    uint64
 	UsedWords  uint64
 	TailWords  uint64
+	Triggers   uint64
+	Assists    uint64
 	Violations map[string]uint64
 }
 
@@ -201,6 +216,19 @@ func Summarize(events []FileEvent) Summary {
 			s.Retires++
 			s.UsedWords += e.Words
 			s.TailWords += e.Tail
+		case "trigger":
+			s.Triggers++
+		case "assist":
+			// Assists are mutator stalls but not collector pauses; they get
+			// their own phase row so the pause distribution stays comparable
+			// across modes.
+			s.Assists++
+			t := phases["assist"]
+			if t == nil {
+				t = &tally{order: len(phases)}
+				phases["assist"] = t
+			}
+			t.observe(e.DurNanos)
 		case "violation":
 			s.Violations[e.Kind]++
 		}
@@ -252,6 +280,9 @@ func (s Summary) Format() string {
 	if s.Carves > 0 || s.Retires > 0 {
 		fmt.Fprintf(&b, "buffers: %d carved (%d words), %d retired (%d used + %d tail words)\n",
 			s.Carves, s.CarveWords, s.Retires, s.UsedWords, s.TailWords)
+	}
+	if s.Triggers > 0 || s.Assists > 0 {
+		fmt.Fprintf(&b, "pacer: %d cycle triggers, %d mutator assists\n", s.Triggers, s.Assists)
 	}
 	if len(s.Violations) > 0 {
 		kinds := make([]string, 0, len(s.Violations))

@@ -81,6 +81,12 @@ func (m Metrics) WritePrometheus(w io.Writer) error {
 	p.printf("gcassert_buffer_used_words_total %d\n", m.UsedWords)
 	p.printf("gcassert_buffer_tail_words_total %d\n", m.TailWords)
 
+	p.printf("# HELP gcassert_gc_triggers_total Concurrent-pacer cycle triggers.\n")
+	p.printf("# TYPE gcassert_gc_triggers_total counter\n")
+	p.printf("gcassert_gc_triggers_total %d\n", m.Triggers)
+	p.printf("gcassert_gc_assists_total %d\n", m.Assists)
+	p.printf("gcassert_gc_assist_slices_total %d\n", m.AssistSlices)
+
 	p.printf("# HELP gcassert_violations_total Assertion violations delivered.\n")
 	p.printf("# TYPE gcassert_violations_total counter\n")
 	p.printf("gcassert_violations_total %d\n", m.Violations)

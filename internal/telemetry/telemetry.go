@@ -63,6 +63,9 @@ const (
 	PhaseIncBarrier
 	// PhaseIncFinish is the completion pause of an incremental cycle.
 	PhaseIncFinish
+	// PhaseAssist is one mutator assist: bounded mark work a thread
+	// performs at an allocation because it outran the concurrent tracer.
+	PhaseAssist
 
 	numPhases
 )
@@ -71,6 +74,7 @@ const (
 var phaseNames = [numPhases]string{
 	"mark", "mark_parallel", "ownership", "minor_mark",
 	"sweep", "lazy_segment", "inc_roots", "inc_slice", "inc_barrier", "inc_finish",
+	"assist",
 }
 
 // String returns the phase's wire name.
@@ -101,12 +105,19 @@ const (
 	KindRetire
 	// KindViolation is one assertion violation (Value = report.Kind code).
 	KindViolation
+	// KindTrigger is one concurrent-pacer cycle trigger (Value = used
+	// words at the trigger, Value2 = the trigger threshold in words).
+	KindTrigger
+	// KindAssist is one mutator assist (Value = duration in nanoseconds,
+	// Value2 = mark slices performed).
+	KindAssist
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"cycle_begin", "phase_begin", "phase_end", "pause", "carve", "retire", "violation",
+	"trigger", "assist",
 }
 
 // String returns the kind's wire name.
@@ -163,6 +174,10 @@ type Recorder struct {
 	usedWords  uint64
 	tailWords  uint64
 	violations uint64
+
+	triggers     uint64
+	assists      uint64
+	assistSlices uint64
 
 	violationKinds [256]uint64
 	// violationNames interns the report.Kind code → name mapping so the
@@ -295,6 +310,32 @@ func (r *Recorder) Retire(used, tail uint64) {
 	r.mu.Unlock()
 }
 
+// Trigger records one concurrent-pacer cycle trigger: the heap had
+// usedWords allocated when the triggerWords threshold tripped.
+func (r *Recorder) Trigger(usedWords, triggerWords uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.triggers++
+	r.emit(Event{Kind: KindTrigger, Cycle: r.cycle, Value: usedWords, Value2: triggerWords})
+	r.mu.Unlock()
+}
+
+// Assist records one mutator assist of d covering `slices` mark slices,
+// feeding the assist-phase histogram.
+func (r *Recorder) Assist(d time.Duration, slices uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.assists++
+	r.assistSlices += slices
+	r.hists[PhaseAssist].Observe(uint64(d))
+	r.emit(Event{Kind: KindAssist, Cycle: r.cycle, Value: uint64(d), Value2: slices})
+	r.mu.Unlock()
+}
+
 // Violation records one assertion violation. code is the report.Kind
 // value; name its String() (stored once per code for the NDJSON stream).
 func (r *Recorder) Violation(code uint8, name string) {
@@ -398,6 +439,12 @@ type Metrics struct {
 	UsedWords  uint64 `json:"buffer_used_words"`
 	TailWords  uint64 `json:"buffer_tail_words"`
 
+	// Concurrent-pacer counters: cycle triggers, mutator assists, and the
+	// mark slices those assists performed. All zero unless ConcurrentGC ran.
+	Triggers     uint64 `json:"gc_triggers"`
+	Assists      uint64 `json:"gc_assists"`
+	AssistSlices uint64 `json:"gc_assist_slices"`
+
 	Violations       uint64           `json:"violations"`
 	ViolationsByKind []ViolationCount `json:"violations_by_kind,omitempty"`
 
@@ -422,6 +469,9 @@ func (r *Recorder) Metrics() Metrics {
 		Retires:           r.retires,
 		UsedWords:         r.usedWords,
 		TailWords:         r.tailWords,
+		Triggers:          r.triggers,
+		Assists:           r.assists,
+		AssistSlices:      r.assistSlices,
 		Violations:        r.violations,
 		ReportWriteErrors: r.writeErrs,
 		SinkErrors:        r.sinkErrs,

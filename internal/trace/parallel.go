@@ -125,7 +125,7 @@ type pworker struct {
 	visited      uint64
 	visitedWords uint64
 	refsScanned  uint64
-	counts      map[uint32]int64 // tracked-class instance shard
+	counts       map[uint32]int64 // tracked-class instance shard
 
 	stats WorkerStats
 }

@@ -29,7 +29,16 @@ type AllocBuffer struct {
 	pos  uint32 // next free word (base <= pos <= end)
 	end  uint32 // one past the last word of the run
 	objs uint64 // objects bump-allocated since the carve
+	// flags is OR-ed into every bump-allocated header. The concurrent
+	// collector carves buffers with FlagMark|FlagScanned while a cycle is
+	// active so bump allocation stays black without a per-object collector
+	// call; Retire's struct zeroing clears it with the rest of the state.
+	flags uint64
 }
+
+// SetAllocFlags sets the header flag bits applied to every subsequent
+// bump allocation from this buffer.
+func (b *AllocBuffer) SetAllocFlags(flags uint64) { b.flags = flags }
 
 // Active reports whether the buffer currently owns a carved run.
 func (b *AllocBuffer) Active() bool { return b.h != nil }
@@ -114,7 +123,7 @@ func (b *AllocBuffer) Alloc(kind Kind, classID uint32, fieldWords uint32) (Ref, 
 		pos+uint64(size) > uint64(b.end) {
 		return Nil, false
 	}
-	b.h.words[pos] = makeHeader(kind, classID, size)
+	b.h.words[pos] = makeHeader(kind, classID, size) | b.flags
 	if kind != KindScalar {
 		b.h.words[pos+1] = uint64(fieldWords)
 	}

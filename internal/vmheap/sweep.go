@@ -66,6 +66,9 @@ type SweepOptions struct {
 // corruption — so Sweep panics if one is still outstanding.
 func (h *Heap) Sweep(opts SweepOptions) SweepStats {
 	h.AssertNoBuffers("Sweep")
+	// Bumped before any reclamation so an allocation stamped with the old
+	// epoch is never mistaken for one this pass provably left alive.
+	h.sweepEpoch.Add(1)
 	if h.lazy.pending {
 		panic("vmheap: Sweep with a lazy sweep still pending (CompleteSweep must run before the trace)")
 	}
