@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench sweepbench allocbench telemetrybench pausebench difftest fuzz figures casestudies verify
+.PHONY: all build test race bench sweepbench allocbench telemetrybench pausebench zonebench difftest fuzz figures casestudies verify
 
 all: build test
 
@@ -39,6 +39,14 @@ telemetrybench:
 pausebench:
 	go run ./cmd/gcbench -fig pause -concurrent | tee results/concurrent_pacing.txt
 
+# Zone pause-isolation report: per-allocation mutator latency and the
+# telemetry pause histogram while a driver collects continuously — the whole
+# heap in the baseline, one zone at a time in the sharded variants. Shows
+# collecting one zone does not pause allocation in the others (see
+# results/zones.txt).
+zonebench:
+	go run ./cmd/gcbench -fig zones | tee results/zones.txt
+
 # Differential tests: serial vs parallel collections on identical scripts,
 # stop-the-world vs incremental cycles (plus the shadow-model oracle), eager
 # vs parallel vs lazy sweep modes under both collectors, direct vs buffered
@@ -61,6 +69,7 @@ fuzz:
 	go test -run '^$$' -fuzz FuzzLazySweep -fuzztime 30s ./internal/core
 	go test -run '^$$' -fuzz FuzzAllocBuffer -fuzztime 30s ./internal/core
 	go test -run '^$$' -fuzz FuzzConcurrentPacer -fuzztime 30s ./internal/core
+	go test -run '^$$' -fuzz FuzzZoneRemset -fuzztime 30s ./internal/core
 
 # Regenerate the paper's figures (text tables on stdout, CSV alongside).
 figures:

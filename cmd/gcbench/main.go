@@ -9,6 +9,7 @@
 //	gcbench -fig pause incremental pause-distribution report (not a paper figure)
 //	gcbench -fig sweep sweep-mode pause comparison (not a paper figure)
 //	gcbench -fig alloc allocation-throughput comparison (not a paper figure)
+//	gcbench -fig zones zone pause-isolation report (not a paper figure)
 //
 // -workers N runs the paper figures with the parallel tracer (N marking
 // goroutines); the published numbers use the default serial tracer.
@@ -28,6 +29,8 @@
 // -events FILE enables telemetry on every measured runtime and streams its
 // NDJSON event log there (cmd/gcmon summarizes it); the published numbers
 // run with telemetry disabled.
+// -zones N shards the heap for -fig zones' sharded variants (the report
+// always includes the unzoned whole-heap baseline and a two-zone row).
 //
 // Methodology follows the paper: fixed heaps at roughly twice each
 // benchmark's minimum live size, warmup iterations discarded, repeated
@@ -49,7 +52,7 @@ import (
 // figNames is the single source of truth for the accepted -fig values: the
 // usage string, validate's accepted set, and its error message all derive
 // from it (TestFigUsageMatchesValidate keeps them from drifting).
-var figNames = []string{"2", "3", "4", "5", "all", "trace", "pause", "sweep", "alloc"}
+var figNames = []string{"2", "3", "4", "5", "all", "trace", "pause", "sweep", "alloc", "zones"}
 
 // figList renders figNames as an English list ("2, 3, ..., or alloc").
 func figList() string {
@@ -74,6 +77,7 @@ type options struct {
 	lazySweep    bool
 	allocBuf     int
 	events       string
+	zones        int
 }
 
 // validate rejects option combinations that would otherwise fail deep
@@ -118,7 +122,7 @@ func validate(o options) error {
 	if o.lazySweep && o.sweepWorkers >= 2 {
 		return fmt.Errorf("-lazysweep with -sweepworkers %d: deferred reclamation is strictly in address order; the two sweep modes cannot be combined", o.sweepWorkers)
 	}
-	if (o.lazySweep || o.sweepWorkers >= 2) && (o.fig == "sweep" || o.fig == "pause" || o.fig == "trace" || o.fig == "alloc") {
+	if (o.lazySweep || o.sweepWorkers >= 2) && (o.fig == "sweep" || o.fig == "pause" || o.fig == "trace" || o.fig == "alloc" || o.fig == "zones") {
 		return fmt.Errorf("-sweepworkers/-lazysweep select a mode for the paper figures; -fig %s configures its own collector modes", o.fig)
 	}
 	if o.allocBuf < 0 {
@@ -127,11 +131,23 @@ func validate(o options) error {
 	if o.allocBuf > 0 && o.allocBuf < vmheap.MinBufferWords {
 		return fmt.Errorf("-allocbuf %d: below the minimum buffer of %d words (use 0 for direct allocation)", o.allocBuf, vmheap.MinBufferWords)
 	}
-	if o.allocBuf > 0 && (o.fig == "sweep" || o.fig == "pause" || o.fig == "trace" || o.fig == "alloc") {
+	if o.allocBuf > 0 && (o.fig == "sweep" || o.fig == "pause" || o.fig == "trace" || o.fig == "alloc" || o.fig == "zones") {
 		return fmt.Errorf("-allocbuf selects a mode for the paper figures; -fig %s configures its own allocation modes", o.fig)
 	}
-	if o.events != "" && (o.fig == "sweep" || o.fig == "pause" || o.fig == "alloc") {
+	if o.events != "" && (o.fig == "sweep" || o.fig == "pause" || o.fig == "alloc" || o.fig == "zones") {
 		return fmt.Errorf("-events streams telemetry from the paper-figure runs; -fig %s configures its own runtimes", o.fig)
+	}
+	if o.zones < 2 {
+		return fmt.Errorf("-zones %d: sharding needs at least two zones", o.zones)
+	}
+	if maxZones := harness.DefaultZoneReport.HeapWords / vmheap.MinZoneWords; o.zones > maxZones {
+		return fmt.Errorf("-zones %d: the %d-word report heap cannot give each zone the minimum %d words (max %d zones)", o.zones, harness.DefaultZoneReport.HeapWords, vmheap.MinZoneWords, maxZones)
+	}
+	if o.zones != 4 && o.fig != "zones" {
+		return fmt.Errorf("-zones %d with -fig %s: the zone count applies only to -fig zones", o.zones, o.fig)
+	}
+	if o.fig == "zones" && o.workers > 1 {
+		return fmt.Errorf("-workers %d with -fig zones: per-zone collections trace serially; parallel tracing does not apply", o.workers)
 	}
 	return nil
 }
@@ -148,6 +164,7 @@ func main() {
 	lazySweep := flag.Bool("lazysweep", false, "defer reclamation to allocation time for the paper figures")
 	allocBuf := flag.Int("allocbuf", 0, "per-thread allocation buffer words for the paper figures (0 = direct free-list allocation, as published)")
 	events := flag.String("events", "", "write telemetry NDJSON events from the measured runtimes to this file (paper figures and -fig trace)")
+	zones := flag.Int("zones", 4, "zone count for -fig zones' largest sharded variant")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	csvPath := flag.String("csv", "", "also write raw measurements to this CSV file")
 	flag.Parse()
@@ -164,6 +181,7 @@ func main() {
 		lazySweep:    *lazySweep,
 		allocBuf:     *allocBuf,
 		events:       *events,
+		zones:        *zones,
 	}
 	if err := validate(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
@@ -188,6 +206,23 @@ func main() {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "measuring %s...\n", name)
 		}
+	}
+
+	if *fig == "zones" {
+		cfg := harness.DefaultZoneReport
+		if *zones != 4 {
+			cfg.Variants = []harness.ZoneVariant{
+				{Name: "unzoned", Zones: 0},
+				{Name: "zones-2", Zones: 2},
+			}
+			if *zones != 2 {
+				cfg.Variants = append(cfg.Variants,
+					harness.ZoneVariant{Name: fmt.Sprintf("zones-%d", *zones), Zones: *zones})
+			}
+		}
+		rows := harness.RunZoneReport(cfg, progress)
+		fmt.Println(harness.FormatZoneReport(rows))
+		return
 	}
 
 	if *fig == "alloc" {

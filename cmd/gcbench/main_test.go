@@ -15,6 +15,7 @@ func defaults() options {
 		warmup:       harness.DefaultRunConfig.Warmup,
 		workers:      1,
 		sweepWorkers: 1,
+		zones:        4,
 	}
 }
 
@@ -66,6 +67,9 @@ func TestValidateAccepts(t *testing.T) {
 		func(o *options) { o.fig = "all"; o.allocBuf = 256; o.lazySweep = true },
 		func(o *options) { o.events = "events.ndjson" },
 		func(o *options) { o.fig = "trace"; o.workers = 4; o.events = "ev.ndjson" },
+		func(o *options) { o.fig = "zones" },
+		func(o *options) { o.fig = "zones"; o.zones = 2 },
+		func(o *options) { o.fig = "zones"; o.zones = 8 },
 	}
 	for i, mut := range cases {
 		o := defaults()
@@ -121,6 +125,27 @@ func TestValidateRejects(t *testing.T) {
 		{func(o *options) { o.fig = "pause"; o.events = "ev.ndjson" }, "configures its own"},
 		{func(o *options) { o.fig = "sweep"; o.events = "ev.ndjson" }, "configures its own"},
 		{func(o *options) { o.fig = "alloc"; o.events = "ev.ndjson" }, "configures its own"},
+		// A zone count of 0, 1, or below would panic in vmheap.NewZoned (or
+		// silently mean "no sharding"); reject it at the flag boundary.
+		{func(o *options) { o.fig = "zones"; o.zones = 0 }, "at least two zones"},
+		{func(o *options) { o.fig = "zones"; o.zones = 1 }, "at least two zones"},
+		{func(o *options) { o.fig = "zones"; o.zones = -3 }, "at least two zones"},
+		// More zones than the report heap can give the minimum extent would
+		// panic when the sharded runtime is built.
+		{func(o *options) { o.fig = "zones"; o.zones = 1 << 20 }, "max"},
+		// The zone count shapes only the zone report; on any other figure a
+		// non-default value would be silently ignored.
+		{func(o *options) { o.fig = "2"; o.zones = 8 }, "applies only to -fig zones"},
+		{func(o *options) { o.fig = "pause"; o.zones = 2 }, "applies only to -fig zones"},
+		// Per-zone collections trace serially; the parallel tracer does not
+		// apply to the zone report.
+		{func(o *options) { o.fig = "zones"; o.workers = 4 }, "trace serially"},
+		// The zone report builds its own runtimes and modes, like the other
+		// side-by-side reports.
+		{func(o *options) { o.fig = "zones"; o.lazySweep = true }, "configures its own"},
+		{func(o *options) { o.fig = "zones"; o.sweepWorkers = 2 }, "configures its own"},
+		{func(o *options) { o.fig = "zones"; o.allocBuf = 512 }, "configures its own"},
+		{func(o *options) { o.fig = "zones"; o.events = "ev.ndjson" }, "configures its own"},
 	}
 	for i, c := range cases {
 		o := defaults()

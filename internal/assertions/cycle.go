@@ -180,6 +180,39 @@ func (e *Engine) CheckInstanceLimits() {
 	}
 }
 
+// CheckInstanceTotals judges instance limits against caller-summed counts
+// (in Registry trackedIDs order, as drained by Registry.TakeCounts). The
+// zoned runtime uses this after a full zone rotation: each zone collection
+// counts only its own zone's live instances, so only the sum across every
+// zone is comparable to a whole-heap count.
+func (e *Engine) CheckInstanceTotals(counts []int64) {
+	for _, over := range e.reg.CheckTotals(counts) {
+		e.dispatch(&report.Violation{
+			Kind:  report.TooManyInstances,
+			Cycle: e.cycle,
+			Class: over.Class.Name,
+			Count: over.Count,
+			Limit: over.Limit,
+		})
+	}
+}
+
+// ReportRetireSurvivor reports one object that survived a Zone.Retire: the
+// zone was declared dead wholesale, but an out-of-zone reference or root
+// still reaches this object. Retire is the bulk form of assert-alldead over
+// a zone's allocations, so survivors carry the RegionSurvivor kind; no
+// trace ran, so the path holds only the object itself. The caller brackets
+// the whole retire in one BeginCycle and reports each survivor once.
+func (e *Engine) ReportRetireSurvivor(obj vmheap.Ref) {
+	e.dispatch(&report.Violation{
+		Kind:   report.RegionSurvivor,
+		Cycle:  e.cycle,
+		Object: obj,
+		Class:  e.reg.Name(e.heap.ClassID(obj)),
+		Path:   e.pathElems([]vmheap.Ref{obj}),
+	})
+}
+
 // PreSweep runs after the mark phase and before the sweep, while unmarked
 // objects are still parseable. It purges every engine table of entries
 // about to be reclaimed, so no table ever holds a reference into freed (and

@@ -298,3 +298,40 @@ func (r *Registry) CheckLimits() []OverLimit {
 // InstanceCount returns the running count for a class (primarily for tests
 // and tools; counts are reset by CheckLimits at the end of each GC).
 func (r *Registry) InstanceCount(c *Class) int64 { return c.instanceCount }
+
+// TakeCounts returns the per-tracked-class counts accumulated since the
+// last reset — indexed in trackedIDs order — and resets them. A zone-scoped
+// trace counts only its own zone's instances, so the zoned runtime drains
+// each zone collection's partial counts through here and sums them across
+// a full rotation before judging limits with CheckTotals.
+func (r *Registry) TakeCounts() []int64 {
+	out := make([]int64, len(r.trackedIDs))
+	for i, id := range r.trackedIDs {
+		c := r.classes[id]
+		out[i] = c.instanceCount
+		c.instanceCount = 0
+	}
+	return out
+}
+
+// CheckTotals compares caller-supplied counts — indexed in trackedIDs
+// order, as produced by TakeCounts — against each tracked class's limit and
+// returns any violations. Unlike CheckLimits it touches no running counts.
+// Counts shorter than trackedIDs judge only the classes they cover (limits
+// asserted after the counts were taken have no data yet).
+func (r *Registry) CheckTotals(counts []int64) []OverLimit {
+	var over []OverLimit
+	for i, id := range r.trackedIDs {
+		if i >= len(counts) {
+			break
+		}
+		c := r.classes[id]
+		if counts[i] > c.instanceLimit {
+			over = append(over, OverLimit{Class: c, Count: counts[i], Limit: c.instanceLimit})
+		}
+	}
+	return over
+}
+
+// NumTracked returns the number of classes with instance limits.
+func (r *Registry) NumTracked() int { return len(r.trackedIDs) }

@@ -104,7 +104,6 @@ func (rt *Runtime) collectPins() {
 		return
 	}
 	rt.pinned.refs = rt.pinned.refs[:0]
-	epoch := rt.heap.SweepEpoch()
 	for _, t := range rt.allThreads {
 		t.lockBuf()
 		for i := range t.pins {
@@ -112,10 +111,13 @@ func (rt *Runtime) collectPins() {
 			if s.ref == Nil {
 				continue
 			}
-			// Fresh stamp: no sweep since the allocation, the Ref is
-			// provably still an object. Already pinned: the previous
-			// cycle's trace kept it alive through every sweep since.
-			if s.pinned || s.epoch == epoch {
+			// Fresh stamp: no sweep of the ref's zone since the
+			// allocation, so the Ref is provably still an object (zones
+			// have independent sweep epochs; certification must use the
+			// epoch of the zone the object lives in). Already pinned: the
+			// previous cycle's trace kept it alive through every sweep
+			// since.
+			if s.pinned || s.epoch == rt.heap.ZoneOf(s.ref).SweepEpoch() {
 				s.pinned = true
 				rt.pinned.refs = append(rt.pinned.refs, s.ref)
 			}
@@ -124,10 +126,12 @@ func (rt *Runtime) collectPins() {
 	}
 }
 
-// notePin records r in this thread's hidden-register ring. Caller holds
-// bufMu (bump path) or rt.mu (slow path); collectPins reads under both.
+// notePin records r in this thread's hidden-register ring, stamped with
+// the allocating zone's sweep epoch (r always comes from t.zheap). Caller
+// holds bufMu (bump path) or rt.mu (slow path); collectPins reads under
+// both.
 func (t *Thread) notePin(r Ref) {
-	t.pins[t.pinPos] = allocPin{ref: r, epoch: t.rt.heap.SweepEpoch()}
+	t.pins[t.pinPos] = allocPin{ref: r, epoch: t.zheap.SweepEpoch()}
 	t.pinPos = (t.pinPos + 1) % threadPinSlots
 }
 

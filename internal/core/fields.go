@@ -4,10 +4,13 @@ import "repro/internal/vmheap"
 
 // Field and array accessors. Reference stores go through the collector's
 // write barriers: the generational barrier (a no-op for mark-sweep,
-// remembered-set maintenance for the generational collector) and the
+// remembered-set maintenance for the generational collector), the
 // snapshot-at-beginning barrier (a no-op unless an incremental collection
 // cycle is active, in which case the first store into a not-yet-scanned
-// object scans its snapshot references before they can be overwritten).
+// object scans its snapshot references before they can be overwritten),
+// and — on a zone-sharded runtime — the cross-zone remembered-set barrier
+// (remset.go), which reads the slot's old value before the store to keep
+// the per-zone sets exact.
 //
 // Field offsets come from Class.MustFieldIndex; workload code resolves them
 // once at setup and uses the integer offsets on the hot paths, the way a
@@ -28,6 +31,10 @@ func (rt *Runtime) SetRef(obj Ref, off uint16, val Ref) {
 	rt.checkField(obj, off)
 	rt.collector.WriteBarrier(obj)
 	rt.collector.SnapshotBarrier(obj)
+	if rt.remsets != nil {
+		rt.remsets.recordStore(obj, rt.heap.FieldSlotIndex(obj, uint32(off)),
+			rt.heap.RefAt(obj, uint32(off)), val)
+	}
 	rt.heap.SetRefAt(obj, uint32(off), val)
 }
 
@@ -79,6 +86,10 @@ func (rt *Runtime) ArrSetRef(arr Ref, i int, val Ref) {
 	rt.checkIndex(arr, i)
 	rt.collector.WriteBarrier(arr)
 	rt.collector.SnapshotBarrier(arr)
+	if rt.remsets != nil {
+		rt.remsets.recordStore(arr, rt.heap.ArraySlotIndex(arr, uint32(i)),
+			Ref(rt.heap.ArrayWord(arr, uint32(i))), val)
+	}
 	rt.heap.SetArrayWord(arr, uint32(i), uint64(val))
 }
 

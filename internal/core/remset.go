@@ -1,0 +1,158 @@
+package core
+
+import "repro/internal/vmheap"
+
+// Cross-zone remembered sets (Config.Zones >= 2).
+//
+// A zone collection treats references from other zones as roots. Rescanning
+// every other zone to find them would make a "zone" collection a whole-heap
+// walk, so the write barrier in SetRef/ArrSetRef maintains one remembered
+// set per TARGET zone: a map from slot address (the absolute arena word
+// holding the reference) to the source object containing that slot.
+//
+// Slot granularity is load-bearing for assertion equivalence, not just an
+// optimization: a whole-heap trace encounters an object once per incoming
+// reference, and assert-unshared counts those encounters. Rooting a zone
+// trace by slot (not by source object, and not deduplicated by target)
+// reproduces exactly one encounter per inbound cross-zone reference, so a
+// per-zone collection reports the same SharedObject verdicts a whole-heap
+// collection would.
+//
+// Entries can go stale three ways, each with its own purge:
+//
+//   - the source object dies: every zone sweep runs the free observer
+//     (onFree, installed on each zone by New and chained after the
+//     assertion engine's own hook), which drops entries by source. Only
+//     objects carrying FlagZoneSrc — set by the barrier when the first
+//     cross-zone reference is stored — pay the scan.
+//
+//   - the slot is overwritten through the barrier: recordStore deletes the
+//     old target's entry before adding the new one.
+//
+//   - the slot is nulled behind the barrier's back (a Force verdict from
+//     assert-dead nulls referencing slots mid-trace; ownership vacating
+//     nulls slots in PreSweep): validate, run at the start of every zone
+//     collection, drops any entry whose slot no longer holds a reference
+//     into the target zone. The zone tracer also reports slots it nulls
+//     itself so they are dropped eagerly.
+//
+// All remembered-set state is guarded by rt.mu: every reference store and
+// every collection entry point holds it.
+type remsets struct {
+	heap *vmheap.Heap // any peer: used for zone lookup and slot access
+	// entries[z] is zone z's inbound set: slot word -> source object.
+	entries []map[uint32]Ref
+}
+
+// newRemsets creates empty remembered sets for every zone of h's arena.
+func newRemsets(h *vmheap.Heap) *remsets {
+	rs := &remsets{heap: h, entries: make([]map[uint32]Ref, h.ZoneCount())}
+	for i := range rs.entries {
+		rs.entries[i] = make(map[uint32]Ref)
+	}
+	return rs
+}
+
+// recordStore is the write-barrier hook: src's slot (absolute arena word)
+// is about to change from old to val. Cross-zone entries are kept exact:
+// the old target zone's entry is dropped, the new target zone's added.
+func (rs *remsets) recordStore(src Ref, slot uint32, old, val Ref) {
+	srcZone := rs.heap.ZoneIndexOf(src)
+	if old != Nil {
+		if z := rs.heap.ZoneIndexOf(old); z != srcZone {
+			delete(rs.entries[z], slot)
+		}
+	}
+	if val != Nil {
+		if z := rs.heap.ZoneIndexOf(val); z != srcZone {
+			rs.entries[z][slot] = src
+			// Sticky: never cleared while the object lives. A false
+			// positive after the last cross-zone reference is removed only
+			// costs the freed-source scan below.
+			rs.heap.SetFlags(src, vmheap.FlagZoneSrc)
+		}
+	}
+}
+
+// onFree is the per-zone free observer: when a remembered-set source is
+// reclaimed by any sweep, its entries (keyed by slots inside the freed
+// object) are dropped from every zone's set before the memory can be
+// reused. Objects never flagged as sources skip the scan entirely.
+func (rs *remsets) onFree(r Ref, hd uint64) {
+	if hd&vmheap.FlagZoneSrc == 0 {
+		return
+	}
+	for _, m := range rs.entries {
+		for slot, src := range m {
+			if src == r {
+				delete(m, slot)
+			}
+		}
+	}
+}
+
+// validate drops every stale entry from zone target's inbound set: the
+// source must still be an allocated object and the slot must still hold a
+// reference into the target zone. Run before the entries are used as roots
+// (zone collection) or survivor evidence (retire).
+func (rs *remsets) validate(target int) {
+	m := rs.entries[target]
+	for slot, src := range m {
+		v := rs.heap.SlotRef(slot)
+		if v == Nil || !rs.heap.IsObject(src) || rs.heap.ZoneIndexOf(v) != target {
+			delete(m, slot)
+		}
+	}
+}
+
+// slots returns zone target's inbound slot words (the zone trace's extra
+// roots). Order is unspecified; collection verdicts do not depend on it.
+func (rs *remsets) slots(target int) []uint32 {
+	m := rs.entries[target]
+	out := make([]uint32, 0, len(m))
+	for slot := range m {
+		out = append(out, slot)
+	}
+	return out
+}
+
+// dropSlot removes one entry (the zone tracer nulled its slot mid-trace).
+func (rs *remsets) dropSlot(target int, slot uint32) {
+	delete(rs.entries[target], slot)
+}
+
+// retirePurge clears zone target's inbound set (its targets were just bulk
+// freed, survivor slots already nulled) and drops every other zone's
+// entries sourced from target (those source objects were freed with it).
+func (rs *remsets) retirePurge(target int) {
+	rs.entries[target] = make(map[uint32]Ref)
+	for z, m := range rs.entries {
+		if z == target {
+			continue
+		}
+		for slot, src := range m {
+			if rs.heap.ZoneIndexOf(src) == target {
+				delete(m, slot)
+			}
+		}
+	}
+}
+
+// RemsetEntries returns a raw snapshot of zone's inbound remembered set —
+// slot word to source object — with no staleness purge applied. Tool- and
+// test-grade: the precision property test asserts that after a per-zone
+// collection every entry already points at a live slot of the right kind,
+// so this accessor must not clean up behind the barrier's back. Returns nil
+// on an unzoned runtime.
+func (rt *Runtime) RemsetEntries(zone int) map[uint32]Ref {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.remsets == nil {
+		return nil
+	}
+	out := make(map[uint32]Ref, len(rt.remsets.entries[zone]))
+	for slot, src := range rt.remsets.entries[zone] {
+		out[slot] = src
+	}
+	return out
+}

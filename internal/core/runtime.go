@@ -74,6 +74,16 @@ type Config struct {
 	// HeapWords is the fixed heap capacity in 64-bit words. The paper
 	// sizes heaps at twice the minimum live size of each benchmark.
 	HeapWords int
+	// Zones >= 2 shards the heap into that many contiguous zones, each
+	// with private free lists and sweep state. Threads allocate from their
+	// current zone (Thread.SetZone); cross-zone reference stores maintain
+	// per-zone remembered sets; and each zone can be collected or retired
+	// independently (Zone.Collect, Zone.Retire, Runtime.GCZones) without
+	// pausing allocation in the others. 0 or 1 (the default — all
+	// published figures use it) keeps the single whole-heap arena.
+	// Requires the MarkSweep collector (the generational collector's
+	// nursery policy is whole-heap).
+	Zones int
 	// Collector selects the algorithm (default MarkSweep).
 	Collector CollectorKind
 	// Mode selects Base or Infrastructure (default Infrastructure).
@@ -185,6 +195,13 @@ type Runtime struct {
 	tele     *telemetry.Recorder // nil unless Config.Telemetry was set
 	main     *Thread
 
+	// Zone sharding (Config.Zones >= 2; all nil/empty otherwise except
+	// zoneHeaps… see zones.go and remset.go). heap aliases zoneHeaps[0]
+	// when zoned: every whole-heap vmheap operation aggregates over peers.
+	zoneHeaps []*vmheap.Heap
+	zones     []*Zone
+	remsets   *remsets
+
 	// Allocation-buffer mode (Config.AllocBuffers). allocBufWords is the
 	// per-thread buffer size in words (0 = direct allocation); incremental
 	// records whether the collector runs incremental cycles (which disable
@@ -260,13 +277,31 @@ func New(cfg Config) *Runtime {
 	if cfg.AllocBuffers >= cfg.HeapWords {
 		panic(fmt.Sprintf("core: AllocBuffers %d must be smaller than the heap (%d words)", cfg.AllocBuffers, cfg.HeapWords))
 	}
+	if cfg.Zones < 0 {
+		panic("core: Zones must not be negative")
+	}
+	if cfg.Zones >= 2 && cfg.Collector != MarkSweep {
+		panic("core: Zones requires the MarkSweep collector (the generational nursery policy is whole-heap)")
+	}
 	rt := &Runtime{
-		heap:     vmheap.New(cfg.HeapWords),
 		reg:      classes.NewRegistry(),
 		threads:  threads.NewSet(),
 		globals:  roots.NewTable(),
 		mode:     cfg.Mode,
 		recorder: &report.Recorder{},
+	}
+	if cfg.Zones >= 2 {
+		rt.zoneHeaps = vmheap.NewZoned(cfg.HeapWords, cfg.Zones)
+		rt.heap = rt.zoneHeaps[0]
+		rt.remsets = newRemsets(rt.heap)
+		rt.zones = make([]*Zone, cfg.Zones)
+		for i, zh := range rt.zoneHeaps {
+			rt.zones[i] = &Zone{rt: rt, idx: i, h: zh}
+			zh.SetFreeObserver(rt.remsets.onFree)
+		}
+	} else {
+		rt.heap = vmheap.New(cfg.HeapWords)
+		rt.zoneHeaps = []*vmheap.Heap{rt.heap}
 	}
 	rt.rootSrc = roots.Multi{rt.globals, rt.threads, &rt.pinned}
 	src := rt.rootSrc
@@ -315,14 +350,16 @@ func New(cfg Config) *Runtime {
 	default:
 		panic(fmt.Sprintf("core: unknown collector kind %d", cfg.Collector))
 	}
-	rt.heap.SetSweepMode(cfg.SweepWorkers, cfg.LazySweep)
-	rt.heap.SetTelemetry(rt.tele)
+	for _, p := range rt.heap.Peers() {
+		p.SetSweepMode(cfg.SweepWorkers, cfg.LazySweep)
+		p.SetTelemetry(rt.tele)
+	}
 	rt.collector.SetTelemetry(rt.tele)
 	rt.collector.Stats().RecordPauses = cfg.RecordPauses
 	rt.allocBufWords = uint32(cfg.AllocBuffers)
 	rt.incremental = cfg.IncrementalBudget > 0
 
-	rt.main = &Thread{rt: rt, th: rt.threads.New("main")}
+	rt.main = &Thread{rt: rt, th: rt.threads.New("main"), zheap: rt.heap}
 	rt.allThreads = append(rt.allThreads, rt.main)
 
 	if cfg.ConcurrentGC {
@@ -385,7 +422,7 @@ func (rt *Runtime) NewThread(name string) *Thread {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.multiMutator.Store(true)
-	t := &Thread{rt: rt, th: rt.threads.New(name)}
+	t := &Thread{rt: rt, th: rt.threads.New(name), zheap: rt.heap}
 	rt.allThreads = append(rt.allThreads, t)
 	return t
 }

@@ -33,6 +33,8 @@ type Snapshot struct {
 	// Pacer counts concurrent-collection activity; all zero without
 	// Config.ConcurrentGC.
 	Pacer PacerStats
+	// Zones summarizes per-zone occupancy (nil unless Config.Zones >= 2).
+	Zones []vmheap.ZoneInfo
 }
 
 // Stats returns a consistent snapshot of heap, collector and assertion
@@ -76,6 +78,9 @@ func (rt *Runtime) Stats() Snapshot {
 	}
 	if rt.pacer != nil {
 		s.Pacer = rt.pacer.stats
+	}
+	if rt.heap.Zoned() {
+		s.Zones = rt.heap.ZoneInfos()
 	}
 	return s
 }

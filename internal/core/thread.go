@@ -54,6 +54,14 @@ type Thread struct {
 	// path); collectPins reads under both. Unused unless ConcurrentGC.
 	pins   [threadPinSlots]allocPin
 	pinPos uint8
+
+	// zheap is the heap zone this thread allocates from: rt.heap (zone 0)
+	// at creation, redirected by SetZone. On an unzoned runtime it is
+	// always rt.heap. Written only by the owning goroutine (SetZone, under
+	// rt.mu, after retiring the buffer) and read lock-free on the
+	// allocation fast path — the owner cannot be mid-bump and in SetZone
+	// at once; all other readers hold rt.mu.
+	zheap *vmheap.Heap
 }
 
 // lockBuf claims the buffer spinlock. Hold times are a handful of
@@ -218,12 +226,12 @@ func (t *Thread) allocSlow(kind vmheap.Kind, classID uint32, n uint32) (Ref, err
 		// (a collection may be needed).
 	}
 
-	r, err := rt.heap.Alloc(kind, classID, n)
+	r, err := t.zheap.Alloc(kind, classID, n)
 	if err == vmheap.ErrHeapExhausted && rt.allocBufWords > 0 {
 		// Other threads' buffer tails may hold the needed words; retire
 		// every buffer before paying for a collection.
 		rt.flushAllocBuffers()
-		r, err = rt.heap.Alloc(kind, classID, n)
+		r, err = t.zheap.Alloc(kind, classID, n)
 	}
 	if err == vmheap.ErrHeapExhausted {
 		// The collection about to run scans roots; other threads may hold
@@ -232,14 +240,14 @@ func (t *Thread) allocSlow(kind vmheap.Kind, classID uint32, n uint32) (Ref, err
 		if cerr := rt.collector.Collect(); cerr != nil {
 			return Nil, cerr
 		}
-		r, err = rt.heap.Alloc(kind, classID, n)
+		r, err = t.zheap.Alloc(kind, classID, n)
 		if err == vmheap.ErrHeapExhausted {
 			// A generational minor collection may not have freed
 			// enough; fall back to a full collection.
 			if cerr := rt.collector.CollectFull(); cerr != nil {
 				return Nil, cerr
 			}
-			r, err = rt.heap.Alloc(kind, classID, n)
+			r, err = t.zheap.Alloc(kind, classID, n)
 		}
 	}
 	if err != nil {
@@ -308,7 +316,7 @@ func (t *Thread) refillAlloc(kind vmheap.Kind, classID uint32, n uint32) (Ref, b
 			return Nil, false
 		}
 	}
-	if !rt.heap.CarveBuffer(&t.buf, need, rt.allocBufWords) {
+	if !t.zheap.CarveBuffer(&t.buf, need, rt.allocBufWords) {
 		return Nil, false
 	}
 	if rt.pacer != nil && rt.collector.IncrementalActive() {

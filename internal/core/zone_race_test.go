@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/vmheap"
+)
+
+// TestZoneShardedUnderRace runs four buffered mutator threads, one pinned
+// to each of four zones, publishing references to each other through a
+// shared hub array so that every field store crosses zones through the
+// remembered-set barrier, while each mutator also triggers per-zone
+// collections (its own zone and others') and occasional full rotations.
+// It exists for the race detector (make race / the CI -race job): a zone
+// collection holds the runtime lock while threads in OTHER zones keep
+// bump-allocating on the lock-free fast path — the pause-isolation
+// property — so the zone-gated trace, the per-thread pin rings, the
+// remembered-set maintenance, the per-zone sweep epochs, and the buffer
+// spinlocks all interleave here with no script-level synchronization.
+func TestZoneShardedUnderRace(t *testing.T) {
+	const (
+		mutators = 4
+		iters    = 1200
+		locals   = 4
+	)
+	rt := New(Config{HeapWords: 1 << 15, Mode: Infrastructure, Zones: mutators,
+		AllocBuffers: 256, Telemetry: &telemetry.Config{}})
+	node := rt.DefineClass("ZRNode", RefField("a"), RefField("b"))
+	aOff := node.MustFieldIndex("a")
+	bOff := node.MustFieldIndex("b")
+
+	// The hub lives in zone 0 and is rooted by the main thread; mutators
+	// publish into their own element and read the others', so hub stores
+	// and node wiring both cross zones.
+	main := rt.MainThread()
+	mainFr := main.PushFrame(1)
+	hub := main.NewRefArray(mutators)
+	mainFr.SetLocal(0, hub)
+
+	ths := make([]*Thread, mutators)
+	for m := range ths {
+		ths[m] = rt.NewThread(fmt.Sprintf("zmut%d", m))
+	}
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for m := 0; m < mutators; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			th := ths[m]
+			th.SetZone(rt.Zone(m)) // owner-goroutine call, as SetZone requires
+			fr := th.PushFrame(locals)
+			rng := rand.New(rand.NewSource(int64(m) + 1))
+			for i := 0; i < iters; i++ {
+				switch rng.Intn(8) {
+				case 0, 1:
+					fr.SetLocal(rng.Intn(locals), th.New(node))
+				case 2:
+					// Publish a local into the hub (a cross-zone array store
+					// for every zone but the hub's own).
+					rt.ArrSetRef(hub, m, fr.Local(rng.Intn(locals)))
+				case 3:
+					// Adopt a neighbor's published object: the wiring store
+					// crosses from this mutator's zone into the neighbor's.
+					src := fr.Local(rng.Intn(locals))
+					dst := rt.ArrGetRef(hub, rng.Intn(mutators))
+					if src != Nil && rt.KindOf(src) == int(vmheap.KindScalar) {
+						off := aOff
+						if rng.Intn(2) == 0 {
+							off = bOff
+						}
+						rt.SetRef(src, off, dst)
+					}
+				case 4:
+					if r := fr.Local(rng.Intn(locals)); r != Nil {
+						if rng.Intn(2) == 0 {
+							_ = rt.AssertDead(r)
+						} else {
+							_ = rt.AssertUnshared(r)
+						}
+						if rng.Intn(4) > 0 {
+							fr.SetLocal(rng.Intn(locals), Nil)
+						}
+					}
+				case 5:
+					// Garbage burst in this mutator's own zone.
+					for j := 0; j < 4; j++ {
+						_ = th.NewDataArray(16)
+					}
+				case 6:
+					// Collect a zone — usually this mutator's own, sometimes
+					// a neighbor's (whose owner keeps allocating through it).
+					zi := m
+					if rng.Intn(3) == 0 {
+						zi = rng.Intn(mutators)
+					}
+					if err := rt.Zone(zi).Collect(); err != nil {
+						t.Errorf("Zone(%d).Collect: %v", zi, err)
+						return
+					}
+				case 7:
+					if rng.Intn(4) == 0 {
+						if err := rt.GCZones(); err != nil {
+							t.Errorf("GCZones: %v", err)
+							return
+						}
+					} else {
+						fr.SetLocal(rng.Intn(locals), th.NewRefArray(1+rng.Intn(8)))
+					}
+				}
+				// Keep the reachable component bounded so allocation never
+				// outruns the fixed heap.
+				if i%100 == 99 {
+					for s := 0; s < locals; s++ {
+						fr.SetLocal(s, Nil)
+					}
+					rt.ArrSetRef(hub, m, Nil)
+				}
+			}
+		}(m)
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	polls := 0
+	for {
+		select {
+		case <-done:
+			if err := rt.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if err := rt.GC(); err != nil {
+				t.Fatalf("final GC: %v", err)
+			}
+			if errs := rt.VerifyHeap(); len(errs) != 0 {
+				t.Fatalf("heap corrupt after zone-sharded run: %v", errs[0])
+			}
+			s := rt.Stats()
+			if s.GC.ZoneCollections == 0 {
+				t.Fatalf("stress run performed no zone collections")
+			}
+			if len(s.Zones) != mutators {
+				t.Fatalf("Stats reported %d zones, want %d", len(s.Zones), mutators)
+			}
+			t.Logf("zone collections %d, full collections %d, polls %d",
+				s.GC.ZoneCollections, s.GC.Collections-s.GC.ZoneCollections, polls)
+			return
+		default:
+			// Race the zone collections with snapshot reads, as a monitoring
+			// thread would.
+			_ = rt.Stats()
+			_ = rt.ZoneStats()
+			polls++
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gc"
+	"repro/internal/report"
+	"repro/internal/vmheap"
+)
+
+// Zone-sharded heaps (Config.Zones >= 2). The heap is partitioned into
+// contiguous zones, each with private free lists, sweep state, and sweep
+// epoch (vmheap.NewZoned). Threads allocate from their current zone
+// (Thread.SetZone); cross-zone reference stores feed the remembered sets
+// (remset.go); and each zone can be collected — or bulk-retired — on its
+// own, treating inbound cross-zone references as roots, while threads in
+// other zones keep bump-allocating (their buffers are not flushed and the
+// allocation fast path never takes rt.mu).
+//
+// Assertion semantics under zoning:
+//
+//   - assert-dead / assert-unshared / start-region / assert-alldead verdicts
+//     from a per-zone collection match a whole-heap collection slot for slot
+//     (remset slots reproduce each inbound encounter; see remset.go).
+//   - assert-instances is judged only by GCZones (a full rotation), which
+//     sums each zone's partial live counts before comparing limits; a single
+//     Zone.Collect drains its zone's counts but draws no conclusion.
+//   - assert-ownedby is a whole-heap property (owner regions are traced
+//     from owner roots across zones), so any zone entry point escalates to
+//     a full collection while ownership assertions are registered.
+type Zone struct {
+	rt  *Runtime
+	idx int
+	h   *vmheap.Heap
+}
+
+// Index returns the zone's position in ascending address order.
+func (z *Zone) Index() int { return z.idx }
+
+// ZoneCount returns the number of heap zones (1 for an unzoned runtime).
+func (rt *Runtime) ZoneCount() int { return rt.heap.ZoneCount() }
+
+// Zones returns the runtime's zones in ascending address order, or nil for
+// an unzoned runtime.
+func (rt *Runtime) Zones() []*Zone { return rt.zones }
+
+// Zone returns zone i. It panics on an unzoned runtime or out-of-range i.
+func (rt *Runtime) Zone(i int) *Zone {
+	if rt.zones == nil {
+		panic("core: Zone on an unzoned runtime (Config.Zones < 2)")
+	}
+	if i < 0 || i >= len(rt.zones) {
+		panic(fmt.Sprintf("core: zone index %d out of range [0,%d)", i, len(rt.zones)))
+	}
+	return rt.zones[i]
+}
+
+// SetZone directs this thread's future allocations to zone z. Must be
+// called by the thread's own goroutine (like region brackets); the current
+// allocation buffer is retired so every buffer always belongs to its
+// thread's current zone.
+func (t *Thread) SetZone(z *Zone) {
+	if z.rt != t.rt {
+		panic("core: SetZone with a zone of a different runtime")
+	}
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	t.flushBuffer()
+	t.zheap = z.h
+}
+
+// ZoneIndex returns the index of the zone this thread allocates from.
+func (t *Thread) ZoneIndex() int { // reads t.zheap: owner goroutine or rt.mu
+	return t.zheap.ZoneID()
+}
+
+// prepareZoneOpLocked settles collection machinery that spans zones before
+// a zone-local operation: a pacer-owned cycle and any in-flight incremental
+// cycle are completed (both are whole-heap by construction — their snapshot
+// predates the zone operation). Caller holds rt.mu.
+func (rt *Runtime) prepareZoneOpLocked() error {
+	if err := rt.settlePacerCycleLocked(); err != nil {
+		return err
+	}
+	if rt.collector.IncrementalActive() {
+		rt.flushAllocBuffers()
+		if err := rt.collector.FinishFull(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectZoneLocked runs one zone collection: this zone's buffers retired
+// (other zones' stay live — the pause-isolation property), pins collected,
+// remembered set validated and handed to the collector as extra roots.
+// Caller holds rt.mu and has settled pacer/incremental state.
+func (rt *Runtime) collectZoneLocked(zi int) ([]int64, error) {
+	zh := rt.zoneHeaps[zi]
+	for _, t := range rt.allThreads {
+		if t.zheap == zh {
+			t.flushBuffer()
+		}
+	}
+	// Pins from every thread: out-of-zone pins are inert to the zone-gated
+	// trace, in-zone pins root unpublished allocations. Threads in other
+	// zones may bump-allocate after this point, but only outside the zone
+	// being collected — this zone's threads lost their buffers above, so
+	// their next allocation blocks on rt.mu until the collection finishes.
+	rt.collectPins()
+	rt.remsets.validate(zi)
+	slots := rt.remsets.slots(zi)
+	ms := rt.collector.(*gc.MarkSweep) // Config.Zones >= 2 forces MarkSweep
+	return ms.CollectZone(zh, slots, func(w uint32) { rt.remsets.dropSlot(zi, w) })
+}
+
+// Collect runs a full mark/sweep of this zone only: the zone's reachable
+// objects (from roots and inbound cross-zone references) are marked, its
+// garbage swept, and every piggybacked assertion over its objects checked —
+// except instance limits, which only a full rotation (GCZones) can judge.
+// Threads allocating in other zones are not paused. Escalates to a
+// whole-heap collection while ownership assertions are registered. Returns
+// a *report.HaltError if a violation handler requested Halt.
+func (z *Zone) Collect() error {
+	rt := z.rt
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if err := rt.prepareZoneOpLocked(); err != nil {
+		return err
+	}
+	if rt.engine != nil && rt.engine.HasOwnership() {
+		rt.flushAllocBuffers()
+		rt.collectPins()
+		return rt.collector.CollectFull()
+	}
+	_, err := rt.collectZoneLocked(z.idx)
+	return err
+}
+
+// GCZones collects every zone in turn — each zone-locally, without pausing
+// allocation in the zones not currently being collected — then judges
+// instance limits on the summed per-zone live counts. On an unzoned
+// runtime it is exactly GC(). Escalates to a whole-heap collection while
+// ownership assertions are registered. Returns the first
+// *report.HaltError encountered.
+//
+// Precision: when the rotation starts with no unreclaimed garbage holding
+// cross-zone references (for example, right after a whole-heap collection
+// or a completed rotation), its combined verdicts and frees are identical
+// to one whole-heap GC: every remembered-set entry then has a live source,
+// so the zone traces root exactly the references a whole-heap trace would
+// traverse. In general, per-zone collection is conservative in the classic
+// regional-collector way: an inbound reference from a not-yet-swept dead
+// source keeps its target alive one extra rotation (the entry is purged
+// when the source's zone sweeps it; garbage chains linking low zones to
+// high zones die within a single rotation because zones are collected in
+// ascending order), and garbage CYCLES spanning zones are reclaimed only
+// by a whole-heap collection. The fuzz suite pins exactly this bound: no
+// live object is ever reclaimed, and no dead object survives a following
+// whole-heap cycle.
+func (rt *Runtime) GCZones() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if err := rt.prepareZoneOpLocked(); err != nil {
+		return err
+	}
+	if rt.remsets == nil || (rt.engine != nil && rt.engine.HasOwnership()) {
+		rt.flushAllocBuffers()
+		rt.collectPins()
+		return rt.collector.CollectFull()
+	}
+	totals := make([]int64, rt.reg.NumTracked())
+	for zi := range rt.zoneHeaps {
+		counts, err := rt.collectZoneLocked(zi)
+		for i, c := range counts {
+			if i < len(totals) {
+				totals[i] += c
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if rt.engine != nil {
+		rt.engine.CheckInstanceTotals(totals)
+		if v := rt.engine.Halted(); v != nil {
+			return &report.HaltError{Violation: v}
+		}
+	}
+	return nil
+}
+
+// Retire bulk-frees every object in the zone — the cheapest possible
+// assert-alldead: the program declares the zone's entire population dead at
+// once, and reclamation is one free-list reset instead of a trace and
+// sweep. Objects that are NOT dead — still referenced from another zone
+// (per the remembered set) or from a root — are reported as RegionSurvivor
+// violations, and the referencing slots are nulled so nothing dangles into
+// the reset zone. Returns the number of distinct survivors and, if a
+// violation handler requested Halt, a *report.HaltError.
+//
+// Region queues, ownership tables, and engine bookkeeping are purged of the
+// zone's objects exactly as a collection that found them all dead would;
+// while ownership assertions are registered the purge walks the whole heap,
+// so every zone's buffers are flushed first (otherwise only this zone's).
+func (z *Zone) Retire() (survivors int, err error) {
+	rt := z.rt
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if err := rt.prepareZoneOpLocked(); err != nil {
+		return 0, err
+	}
+	zh := z.h
+	for _, t := range rt.allThreads {
+		if t.zheap == zh {
+			t.flushBuffer()
+		}
+	}
+	hasOwnership := rt.engine != nil && rt.engine.HasOwnership()
+	if hasOwnership {
+		// Vacating dead owners nulls references via a whole-heap walk.
+		rt.flushAllocBuffers()
+	}
+	rt.collectPins()
+	if rt.engine != nil {
+		// The retire is a degenerate collection cycle: survivors are
+		// reported once each under a fresh cycle (and a fresh halt slate).
+		rt.engine.BeginCycle()
+	}
+
+	seen := make(map[Ref]bool)
+	reportSurvivor := func(obj Ref) {
+		if !seen[obj] {
+			seen[obj] = true
+			if rt.engine != nil {
+				rt.engine.ReportRetireSurvivor(obj)
+			}
+		}
+	}
+	// Inbound cross-zone references, validated so every reported survivor
+	// is a real live object of this zone.
+	rt.remsets.validate(z.idx)
+	for _, slot := range rt.remsets.slots(z.idx) {
+		reportSurvivor(rt.heap.SlotRef(slot))
+		rt.heap.SetSlotRef(slot, Nil)
+	}
+	// Roots: globals, frame locals, and collected pins.
+	rt.rootSrc.EachRoot(func(slot *vmheap.Ref) {
+		if r := *slot; r != Nil && zh.Contains(r) {
+			reportSurvivor(r)
+			*slot = Nil
+		}
+	})
+	// Per-thread pin rings: a pinned or fresh-epoch pin into this zone must
+	// not re-certify after the reset (the epoch bump alone handles fresh
+	// stamps; pinned entries persist by design, so clear them explicitly).
+	for _, t := range rt.allThreads {
+		t.lockBuf()
+		for i := range t.pins {
+			if t.pins[i].ref != Nil && zh.Contains(t.pins[i].ref) {
+				t.pins[i] = allocPin{}
+			}
+		}
+		t.unlockBuf()
+	}
+
+	var onFree func(vmheap.Ref, uint64)
+	if rt.engine != nil {
+		rt.engine.PreSweep(func(r Ref) bool { return !zh.Contains(r) })
+		onFree = rt.engine.FreeHook()
+	}
+	st := zh.ResetZone(onFree)
+	rt.remsets.retirePurge(z.idx)
+
+	stats := rt.collector.Stats()
+	stats.ZoneRetires++
+	stats.FreedObjects += st.FreedObjects
+	stats.FreedWords += st.FreedWords
+
+	if rt.engine != nil {
+		if v := rt.engine.Halted(); v != nil {
+			return len(seen), &report.HaltError{Violation: v}
+		}
+	}
+	return len(seen), nil
+}
+
+// ZoneStats returns a per-zone occupancy summary (nil when unzoned). Active
+// allocation buffers in a zone are counted from their carve, as the heap's
+// own accounting does.
+func (rt *Runtime) ZoneStats() []vmheap.ZoneInfo {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if !rt.heap.Zoned() {
+		return nil
+	}
+	return rt.heap.ZoneInfos()
+}

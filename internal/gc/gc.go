@@ -53,6 +53,11 @@ type Stats struct {
 	Collections      uint64 // all collections
 	FullCollections  uint64 // full-heap (major) collections
 	MinorCollections uint64
+	// ZoneCollections counts single-zone collections (CollectZone);
+	// ZoneRetires counts Zone.Retire bulk frees. Both stay zero on an
+	// unzoned runtime.
+	ZoneCollections uint64
+	ZoneRetires     uint64
 
 	GCTime     time.Duration // total stop-the-world time
 	FullGCTime time.Duration
@@ -236,6 +241,7 @@ type MarkSweep struct {
 	tracer *trace.Tracer
 	engine *assertions.Engine // nil in Base mode
 	roots  roots.Source
+	reg    *classes.Registry
 	mode   Mode
 	stats  Stats
 
@@ -277,6 +283,7 @@ func NewMarkSweep(h *vmheap.Heap, reg *classes.Registry, src roots.Source, mode 
 		tracer: trace.New(h, reg),
 		engine: engine,
 		roots:  src,
+		reg:    reg,
 		mode:   mode,
 	}
 }
@@ -462,4 +469,87 @@ func (c *MarkSweep) CollectFull() error {
 		}
 	}
 	return nil
+}
+
+// CollectZone performs one collection of a single zone of a zone-sharded
+// heap. The zone's roots are the runtime root set (references into other
+// zones are inert to the zone-gated trace) plus the caller-supplied
+// remembered-set slots: absolute arena word addresses in OTHER zones known
+// to hold references into z. The trace treats each such slot exactly like a
+// root slot — it is path-tracked, null-forced for assert-dead Force
+// verdicts (onSlotNulled reports any slot the trace nulled so the caller
+// can drop its remembered-set entry), and counts as one encounter for the
+// unshared check, which is what makes per-zone verdicts match a whole-heap
+// collection's slot for slot.
+//
+// Only z is swept; other zones' allocation buffers stay live, which is the
+// zone isolation property (no cross-zone pause). The zone trace is always
+// serial, and always runs the infrastructure loop when an engine is present
+// (ownership assertions do not reach here: the runtime escalates to a full
+// collection while any ownership assertion is registered).
+//
+// CollectZone returns this zone's partial instance counts, drained from the
+// registry in trackedIDs order; the runtime sums them across a full zone
+// rotation and judges limits with Engine.CheckInstanceTotals, since a
+// single zone's count says nothing about the whole-heap total.
+func (c *MarkSweep) CollectZone(z *vmheap.Heap, slots []uint32, onSlotNulled func(uint32)) ([]int64, error) {
+	if c.inc.active || c.inc.pending != nil {
+		if err := c.incParts().finish(); err != nil {
+			return nil, err
+		}
+	}
+	c.tele.CycleBegin()
+	start := time.Now()
+	// Pending lazy sweeps must settle in this zone only; other zones keep
+	// their pending state (and their mutators keep allocating).
+	leftover := c.stats.timedPhase(z.ZoneCompleteSweep)
+	c.tracer.ResetZone(z)
+
+	if c.engine != nil {
+		c.engine.BeginCycle()
+		c.tracer.SetChecks(c.engine.Checks())
+	}
+	c.tracer.TraceInfraZone(c.roots, slots, onSlotNulled)
+	counts := c.reg.TakeCounts()
+
+	var sweepClear uint64
+	var onFree func(vmheap.Ref, uint64)
+	if c.engine != nil {
+		c.engine.PreSweep(func(r vmheap.Ref) bool {
+			return !z.Contains(r) || c.heap.Flags(r, vmheap.FlagMark) != 0
+		})
+		sweepClear = c.engine.SweepFlags()
+		onFree = c.engine.FreeHook()
+	}
+
+	ts := c.tracer.Stats()
+	// The zone trace is serial and zone-gated, so its visit counts are the
+	// zone's exact live census: the walkless lazy-sweep arm stays available.
+	sw := c.stats.timedSweep(leftover, func() vmheap.SweepStats {
+		return z.ZoneSweep(vmheap.SweepOptions{
+			ClearFlags:    sweepClear,
+			OnFree:        onFree,
+			MarkedKnown:   true,
+			MarkedObjects: ts.Visited,
+			MarkedWords:   ts.VisitedWords,
+		})
+	})
+
+	elapsed := time.Since(start)
+	c.tele.Pause(elapsed)
+	c.stats.Collections++
+	c.stats.ZoneCollections++
+	c.stats.GCTime += elapsed
+	c.stats.addPause(elapsed)
+	c.stats.MarkedObjects += ts.Visited
+	c.stats.FreedObjects += sw.FreedObjects
+	c.stats.FreedWords += sw.FreedWords
+	c.stats.addTrace(ts)
+
+	if c.engine != nil {
+		if v := c.engine.Halted(); v != nil {
+			return counts, &report.HaltError{Violation: v}
+		}
+	}
+	return counts, nil
 }

@@ -1,0 +1,265 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Zone pause-isolation report (gcbench -fig zones): the same allocation
+// churn run by one mutator thread per zone while a driver goroutine
+// collects continuously — the whole heap in the unzoned baseline, one zone
+// at a time in the sharded variants. Each timed operation is a pure
+// bump-path allocation, so the latency tail records exactly what the zone
+// design is meant to bound: how long an allocation in one tenant's zone
+// can be stalled by collection work done on behalf of another. A
+// whole-heap collection holds the runtime lock for a full-heap trace and
+// sweep and every thread's buffer refill waits out the remainder; a zone
+// collection holds it for one zone's worth, and threads in other zones
+// keep bump-allocating through it. The telemetry pause histogram of the
+// same runs shows the collector-side picture: per-collection pauses shrink
+// with the shard count while the mutators' allocation tails flatten.
+//
+// Root retention (so traces have live data to mark) happens outside the
+// timed region: root-slot stores serialize on the runtime lock by design,
+// and timing them would measure lock queueing, not allocation progress.
+
+// ZoneVariant is one heap layout to measure. Zones == 0 is the unzoned
+// whole-heap baseline.
+type ZoneVariant struct {
+	Name  string
+	Zones int
+}
+
+// ZoneReportConfig shapes the report.
+type ZoneReportConfig struct {
+	HeapWords int
+	Threads   int
+	AllocBuf  int
+	// Ops is the number of timed allocations per mutator thread.
+	Ops    int
+	Locals int
+	Seed   uint64
+	// DriverInterval paces the collecting driver: one collection (of the
+	// whole heap, or of the next zone in rotation) per interval. Back-to-back
+	// collection would hold the runtime lock continuously and starve every
+	// variant equally; a fixed cadence makes the per-collection mutator
+	// impact comparable across layouts.
+	DriverInterval time.Duration
+	Variants       []ZoneVariant
+}
+
+// DefaultZoneReport sizes the churn so the driver completes hundreds of
+// collections against every layout while the whole report stays under a
+// few seconds.
+var DefaultZoneReport = ZoneReportConfig{
+	HeapWords:      1 << 19,
+	Threads:        4,
+	AllocBuf:       2048,
+	Ops:            1_000_000,
+	Locals:         8,
+	Seed:           1,
+	DriverInterval: 200 * time.Microsecond,
+	Variants: []ZoneVariant{
+		{Name: "unzoned", Zones: 0},
+		{Name: "zones-2", Zones: 2},
+		{Name: "zones-4", Zones: 4},
+	},
+}
+
+// zoneStallThreshold classifies a timed allocation as "stalled": pure
+// bump-path allocations complete in tens of nanoseconds, so anything this
+// slow was waiting out collection work.
+const zoneStallThreshold = 50 * time.Microsecond
+
+// ZoneRow is the measurement for one variant.
+type ZoneRow struct {
+	Name string
+	Wall time.Duration
+	// OpsPerMS is aggregate mutator throughput across all threads.
+	OpsPerMS float64
+	// P50..Max summarize per-allocation latency pooled over every thread.
+	P50, P95, P99, Max time.Duration
+	// Stalls counts timed allocations at or above zoneStallThreshold, and
+	// OpsTimed the total, so stall rates are comparable across variants.
+	// StallP50 is the median duration of those stalled allocations — the
+	// mutator-side view of how long a collection-window wait actually lasts.
+	Stalls, OpsTimed uint64
+	StallP50         time.Duration
+	// Collections counts driver-issued collections; ZoneCollections is the
+	// per-zone subset (0 for the unzoned baseline).
+	Collections     uint64
+	ZoneCollections uint64
+	// Pause is the telemetry pause histogram over those collections.
+	Pause telemetry.PhaseSummary
+}
+
+// RunZoneReport measures every variant on the identical churn script.
+func RunZoneReport(cfg ZoneReportConfig, progress func(string)) []ZoneRow {
+	rows := make([]ZoneRow, 0, len(cfg.Variants))
+	for _, v := range cfg.Variants {
+		if progress != nil {
+			progress(fmt.Sprintf("zone isolation, %s", v.Name))
+		}
+		rows = append(rows, runZoneVariant(cfg, v))
+	}
+	return rows
+}
+
+func runZoneVariant(cfg ZoneReportConfig, v ZoneVariant) ZoneRow {
+	rt := core.New(core.Config{
+		HeapWords:    cfg.HeapWords,
+		Mode:         core.Infrastructure,
+		AllocBuffers: cfg.AllocBuf,
+		Zones:        v.Zones,
+		Telemetry:    &telemetry.Config{},
+	})
+	node := rt.DefineClass("ZBNode",
+		core.RefField("l"), core.RefField("r"), core.DataField("d"))
+
+	ths := make([]*core.Thread, cfg.Threads)
+	for m := range ths {
+		ths[m] = rt.NewThread(fmt.Sprintf("zone%d", m))
+	}
+
+	lats := make([][]time.Duration, cfg.Threads)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	start := time.Now()
+	for m := 0; m < cfg.Threads; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			th := ths[m]
+			if v.Zones >= 2 {
+				th.SetZone(rt.Zone(m % v.Zones))
+			}
+			fr := th.PushFrame(cfg.Locals)
+			rng := newSplitMix(cfg.Seed + uint64(m)*0x9e37)
+			lat := make([]time.Duration, 0, cfg.Ops)
+			for i := 0; i < cfg.Ops; i++ {
+				r := rng.next()
+				t0 := time.Now()
+				switch {
+				case r%8 < 5:
+					_ = th.New(node)
+				case r%8 < 7:
+					_ = th.NewDataArray(int(r>>8)%24 + 8)
+				default:
+					_ = th.NewRefArray(int(r>>16)%8 + 1)
+				}
+				lat = append(lat, time.Since(t0))
+				if i%64 == 63 {
+					// Untimed retention: keep a rolling window of live nodes
+					// in this thread's zone so collections mark real data.
+					fr.SetLocal(int(r>>32)%cfg.Locals, th.New(node))
+				}
+			}
+			lats[m] = lat
+		}(m)
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	// The driver: one whole-heap pass per interval. The unzoned baseline
+	// does it as a single collection; the sharded variants as a rotation of
+	// per-zone collections, releasing the runtime lock between zones so
+	// mutator refills can slip into the gaps (GCZones would hold the lock
+	// for the whole rotation). Reclamation cadence per heap word is thus
+	// identical across variants — only the individual pause shrinks.
+	var collections uint64
+	for {
+		select {
+		case <-done:
+			wall := time.Since(start)
+			pooled := make([]time.Duration, 0, cfg.Threads*cfg.Ops)
+			for _, l := range lats {
+				pooled = append(pooled, l...)
+			}
+			sort.Slice(pooled, func(i, j int) bool { return pooled[i] < pooled[j] })
+			var stalls uint64
+			for _, d := range pooled {
+				if d >= zoneStallThreshold {
+					stalls++
+				}
+			}
+			var stallP50 time.Duration
+			if stalls > 0 {
+				// pooled is sorted, so the stalled ops are its suffix.
+				stallP50 = percentileDuration(pooled[uint64(len(pooled))-stalls:], 0.50)
+			}
+			s := rt.Stats()
+			row := ZoneRow{
+				Name:            v.Name,
+				Wall:            wall,
+				OpsPerMS:        float64(len(pooled)) / (float64(wall) / float64(time.Millisecond)),
+				P50:             percentileDuration(pooled, 0.50),
+				P95:             percentileDuration(pooled, 0.95),
+				P99:             percentileDuration(pooled, 0.99),
+				Max:             percentileDuration(pooled, 1.00),
+				Stalls:          stalls,
+				OpsTimed:        uint64(len(pooled)),
+				StallP50:        stallP50,
+				Collections:     collections,
+				ZoneCollections: s.GC.ZoneCollections,
+				Pause:           rt.Metrics().Pause,
+			}
+			return row
+		default:
+			if v.Zones >= 2 {
+				for zi := 0; zi < v.Zones; zi++ {
+					if err := rt.Zone(zi).Collect(); err != nil {
+						panic(err)
+					}
+					collections++
+				}
+			} else {
+				if err := rt.GC(); err != nil {
+					panic(err)
+				}
+				collections++
+			}
+			time.Sleep(cfg.DriverInterval)
+		}
+	}
+}
+
+// FormatZoneReport renders the rows. Throughput is normalized to the first
+// row (conventionally the unzoned baseline).
+func FormatZoneReport(rows []ZoneRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Zone pause isolation: per-allocation latency while a driver sweeps the heap on a fixed cadence\n")
+	fmt.Fprintf(&b, "(first row = whole-heap baseline; stall = allocation >= %v)\n", zoneStallThreshold)
+	fmt.Fprintf(&b, "%-10s %9s %7s %8s %8s %11s %12s %7s %9s %9s %9s\n",
+		"config", "ops/ms", "rel", "p50-ns", "p99-us",
+		"stalls/100k", "stall-p50-us", "colls", "gc-p50-us", "gc-p99-us", "gc-max-ms")
+	var base float64
+	for i, r := range rows {
+		if i == 0 {
+			base = r.OpsPerMS
+		}
+		rel := "-"
+		if i > 0 && base > 0 {
+			rel = fmt.Sprintf("%.2fx", r.OpsPerMS/base)
+		}
+		stallRate := 0.0
+		if r.OpsTimed > 0 {
+			stallRate = float64(r.Stalls) / float64(r.OpsTimed) * 100_000
+		}
+		fmt.Fprintf(&b, "%-10s %9.0f %7s %8.0f %8.2f %11.1f %12.1f %7d %9.2f %9.2f %9.3f\n",
+			r.Name, r.OpsPerMS, rel,
+			float64(r.P50),
+			float64(r.P99)/float64(time.Microsecond),
+			stallRate,
+			float64(r.StallP50)/float64(time.Microsecond),
+			r.Collections,
+			float64(r.Pause.P50Nanos)/float64(time.Microsecond),
+			float64(r.Pause.P99Nanos)/float64(time.Microsecond),
+			float64(r.Pause.MaxNanos)/float64(time.Millisecond))
+	}
+	return b.String()
+}

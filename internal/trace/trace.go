@@ -88,6 +88,15 @@ type Tracer struct {
 	// the object).
 	barrierSrc vmheap.Ref
 
+	// zlo/zhi bound a zone-scoped trace (ResetZone): references outside
+	// [zlo, zhi) are completely inert — counted as scanned but never
+	// dereferenced, checked, marked, or pushed — so a zone trace touches
+	// no header outside its zone and each object is checked exactly once
+	// per whole rotation of zone collections, matching the whole-heap
+	// trace's per-cycle deduplication. zhi == 0 (the Reset state) disarms
+	// the gate.
+	zlo, zhi uint32
+
 	// tele, when non-nil, receives a span per marking pass (mark,
 	// mark_parallel, ownership, minor_mark). Nil — the default — costs one
 	// branch per pass, nothing per object.
@@ -129,13 +138,35 @@ func (t *Tracer) Halted() *report.Violation { return t.halt }
 // over a heap with an active buffer would push refs whose eventual sweep
 // cannot parse the buffer's unwritten tail.
 func (t *Tracer) Reset() {
-	t.heap.AssertNoBuffers("trace")
+	t.heap.AssertNoBuffersAll("trace")
 	t.stats = Stats{}
 	t.pstats = ParallelStats{}
 	t.halt = nil
 	t.stack = t.stack[:0]
 	t.incScan = false
 	t.barrierSrc = vmheap.Nil
+	t.zlo, t.zhi = 0, 0
+}
+
+// ResetZone prepares the tracer for a zone-scoped collection: the same
+// per-collection state clearing as Reset, but only the zone's own
+// allocation buffers must be retired (peers keep bump-allocating through
+// the collection), and the zone gate is armed over z's range.
+func (t *Tracer) ResetZone(z *vmheap.Heap) {
+	z.AssertNoBuffers("trace")
+	t.stats = Stats{}
+	t.pstats = ParallelStats{}
+	t.halt = nil
+	t.stack = t.stack[:0]
+	t.incScan = false
+	t.barrierSrc = vmheap.Nil
+	t.zlo, t.zhi = z.ZoneRange()
+}
+
+// inZone reports whether the trace may dereference c: always true with the
+// gate disarmed, else only for refs inside the zone bounds.
+func (t *Tracer) inZone(c vmheap.Ref) bool {
+	return t.zhi == 0 || (uint32(c) >= t.zlo && uint32(c) < t.zhi)
 }
 
 // RequestHalt records a halt-requesting violation; the collector finishes
@@ -159,7 +190,7 @@ func (t *Tracer) TraceBase(src roots.Source) {
 
 	src.EachRoot(func(slot *vmheap.Ref) {
 		r := *slot
-		if h.Flags(r, vmheap.FlagMark) == 0 {
+		if t.inZone(r) && h.Flags(r, vmheap.FlagMark) == 0 {
 			h.SetFlags(r, vmheap.FlagMark)
 			t.countVisit(r)
 			stack = append(stack, uint32(r))
@@ -175,7 +206,7 @@ func (t *Tracer) TraceBase(src roots.Source) {
 			for _, off := range t.reg.RefOffsets(h.ClassID(r)) {
 				c := h.RefAt(r, uint32(off))
 				t.stats.RefsScanned++
-				if c != vmheap.Nil && h.Flags(c, vmheap.FlagMark) == 0 {
+				if c != vmheap.Nil && t.inZone(c) && h.Flags(c, vmheap.FlagMark) == 0 {
 					h.SetFlags(c, vmheap.FlagMark)
 					t.countVisit(c)
 					stack = append(stack, uint32(c))
@@ -186,7 +217,7 @@ func (t *Tracer) TraceBase(src roots.Source) {
 			for i := uint32(0); i < n; i++ {
 				c := vmheap.Ref(h.ArrayWord(r, i))
 				t.stats.RefsScanned++
-				if c != vmheap.Nil && h.Flags(c, vmheap.FlagMark) == 0 {
+				if c != vmheap.Nil && t.inZone(c) && h.Flags(c, vmheap.FlagMark) == 0 {
 					h.SetFlags(c, vmheap.FlagMark)
 					t.countVisit(c)
 					stack = append(stack, uint32(c))
@@ -216,6 +247,44 @@ func (t *Tracer) TraceInfra(src roots.Source) {
 	})
 
 	t.drainInfra()
+}
+
+// TraceInfraZone is the zone-scoped Infrastructure trace: roots come from
+// src (the zone gate armed by ResetZone filters out-of-zone entries) plus
+// the zone's inbound cross-zone remembered-set slots, given as absolute
+// arena word indices. Each slot is a field of a live object in another
+// zone whose value points into this zone, so its target is treated exactly
+// like a root — including the Force action, which nulls the heap word
+// through the slot and reports it to onNull so the caller can drop the
+// remembered-set entry.
+func (t *Tracer) TraceInfraZone(src roots.Source, slots []uint32, onNull func(slot uint32)) {
+	teleStart := t.tele.Begin(telemetry.PhaseMark)
+	defer t.tele.End(telemetry.PhaseMark, teleStart)
+	t.stack = t.stack[:0]
+
+	src.EachRoot(func(slot *vmheap.Ref) {
+		t.encounter(slot)
+	})
+	for _, w := range slots {
+		t.encounterSlot(w, onNull)
+	}
+
+	t.drainInfra()
+}
+
+// encounterSlot processes one remembered-set slot (an absolute arena word
+// index) as a root.
+func (t *Tracer) encounterSlot(w uint32, onNull func(uint32)) {
+	c := t.heap.SlotRef(w)
+	if c == vmheap.Nil {
+		return
+	}
+	if t.check(c) {
+		t.heap.SetSlotRef(w, vmheap.Nil)
+		if onNull != nil {
+			onNull(w)
+		}
+	}
 }
 
 // drainInfra runs the path-tracking DFS until the worklist is empty.
@@ -294,6 +363,14 @@ func (t *Tracer) encounter(slot *vmheap.Ref) {
 func (t *Tracer) check(c vmheap.Ref) (forceNull bool) {
 	h := t.heap
 	t.stats.RefsScanned++
+	// Zone gate, before the header read: an out-of-zone reference is
+	// completely inert to a zone-scoped trace. Its object belongs to
+	// another zone's collections; reading (or worse, flagging) its header
+	// here would race with that zone's concurrent bump allocation and
+	// double-check objects across a rotation of zone collections.
+	if t.zhi != 0 && (uint32(c) < t.zlo || uint32(c) >= t.zhi) {
+		return false
+	}
 	hd := h.Header(c)
 
 	// Dead check: a single bit test on the already-loaded header word, on

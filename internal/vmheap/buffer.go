@@ -163,7 +163,7 @@ func (b *AllocBuffer) Retire() {
 	h.tele.Retire(used, uint64(b.end-b.pos))
 	if tail := b.end - b.pos; tail > 0 {
 		size := tail
-		if next := b.end; next < uint32(len(h.words)) {
+		if next := b.end; next < h.hi {
 			if hd := h.words[next]; hd&FlagFree != 0 {
 				nsz := headerSize(hd)
 				h.unlinkChunk(Ref(next), nsz)

@@ -57,6 +57,15 @@ const (
 	// that completes the cycle clears it. Bits 7 and 10 are FlagOwnee and
 	// FlagOwner (ownee.go).
 	FlagScanned uint64 = 1 << 11
+
+	// FlagZoneSrc marks an object that has (or once had) a reference field
+	// pointing into another zone, i.e. it appears as the source of at least
+	// one cross-zone remembered-set entry. The free observer installed by
+	// the zoned runtime uses it to skip remset purging for the overwhelming
+	// majority of freed objects that never stored a cross-zone reference.
+	// The bit is set by the remset barrier and never cleared while the
+	// object lives (purging is idempotent, so staleness is harmless).
+	FlagZoneSrc uint64 = 1 << 12
 )
 
 const (

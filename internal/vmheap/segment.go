@@ -100,15 +100,18 @@ type SweepModeStats struct {
 	DeferredSweepTime time.Duration
 }
 
-// initSegments sizes the parse-range table for a fresh heap: one range
-// covering the whole arena (the initial single free chunk).
+// initSegments sizes the parse-range table for a fresh zone: one range
+// covering the zone's whole extent (the initial single free chunk).
+// Nominal range bases are offset by the zone's start so that an unzoned
+// heap (lo = heapBase) produces exactly the historical table.
 func (h *Heap) initSegments() {
-	h.segWords = segmentWordsFor(len(h.words))
-	n := (len(h.words) + int(h.segWords) - 1) / int(h.segWords)
+	h.segWords = segmentWordsFor(int(h.hi-h.lo) + heapBase)
+	base := h.lo - heapBase
+	n := (int(h.hi-base) + int(h.segWords) - 1) / int(h.segWords)
 	h.segBounds = make([]Ref, n+1)
 	h.segScratch = make([]Ref, n+1)
-	end := Ref(len(h.words))
-	h.segBounds[0] = heapBase
+	end := Ref(h.hi)
+	h.segBounds[0] = Ref(h.lo)
 	for i := 1; i <= n; i++ {
 		h.segBounds[i] = end
 	}
@@ -138,8 +141,16 @@ func (h *Heap) SetSweepMode(workers int, lazy bool) {
 // SweepModeStats returns the lazy/parallel sweep counters.
 func (h *Heap) SweepModeStats() SweepModeStats { return h.sweepStats }
 
-// SweepPending reports whether a lazy sweep has unswept ranges outstanding.
-func (h *Heap) SweepPending() bool { return h.lazy.pending }
+// SweepPending reports whether a lazy sweep has unswept ranges outstanding
+// in any zone of the arena.
+func (h *Heap) SweepPending() bool {
+	for _, p := range h.peers {
+		if p.lazy.pending {
+			return true
+		}
+	}
+	return false
+}
 
 // SegmentStates reports the lazy state machine: total parse ranges and how
 // many of them the pending sweep has reclaimed. With no sweep pending,
@@ -152,11 +163,21 @@ func (h *Heap) SegmentStates() (swept, total int) {
 	return h.lazy.next, total
 }
 
-// CompleteSweep drives a pending lazy sweep to completion. The collectors
-// call it before every trace — stale mark bits on not-yet-swept survivors
-// would corrupt the next mark phase — and the introspection entry points
-// (Iterate, Verify, FreeChunks) call it so observations are exact.
-func (h *Heap) CompleteSweep() { h.ensureSwept() }
+// CompleteSweep drives every zone's pending lazy sweep to completion. The
+// collectors call it before every trace — stale mark bits on not-yet-swept
+// survivors would corrupt the next mark phase — and the introspection entry
+// points (Iterate, Verify, FreeChunks) call it so observations are exact.
+// ZoneCompleteSweep completes only this zone's pending sweep (used by zone
+// collections, which must not disturb peers).
+func (h *Heap) CompleteSweep() {
+	for _, p := range h.peers {
+		p.ensureSwept()
+	}
+}
+
+// ZoneCompleteSweep drives this zone's pending lazy sweep (if any) to
+// completion without touching peers.
+func (h *Heap) ZoneCompleteSweep() { h.ensureSwept() }
 
 func (h *Heap) ensureSwept() {
 	for h.lazy.pending {
@@ -192,33 +213,35 @@ func (h *Heap) pendingLive(hd uint64) bool {
 
 // --- parse-range boundary recording ------------------------------------
 
-// boundsRec assigns parse-range starts while a sweep walks the heap in
+// boundsRec assigns parse-range starts while a sweep walks the zone in
 // ascending address order: range i begins at the first noted header at or
-// above the nominal base i*segWords. Entries the walk never reaches stay
-// unassigned for the caller to fill.
+// above the nominal base base+i*segWords (base anchors the table to the
+// zone's start and is zero for an unzoned heap). Entries the walk never
+// reaches stay unassigned for the caller to fill.
 type boundsRec struct {
 	out  []Ref
 	segW uint32
-	next int // next range index to assign
-	lim  int // first range index not owned by this recorder
+	base uint32 // zone anchor: lo - heapBase (0 when unzoned)
+	next int    // next range index to assign
+	lim  int    // first range index not owned by this recorder
 }
 
 func (b *boundsRec) note(addr uint32) {
-	for b.next < b.lim && uint32(b.next)*b.segW <= addr {
+	for b.next < b.lim && b.base+uint32(b.next)*b.segW <= addr {
 		b.out[b.next] = Ref(addr)
 		b.next++
 	}
 }
 
-// beginBounds starts a full-heap recording into the scratch table.
+// beginBounds starts a full-zone recording into the scratch table.
 func (h *Heap) beginBounds() boundsRec {
-	return boundsRec{out: h.segScratch, segW: h.segWords, lim: h.numSegments()}
+	return boundsRec{out: h.segScratch, segW: h.segWords, base: h.lo - heapBase, lim: h.numSegments()}
 }
 
-// finishBounds completes a full-heap recording — ranges past the last noted
+// finishBounds completes a full-zone recording — ranges past the last noted
 // header are empty — and publishes the scratch table.
 func (h *Heap) finishBounds(rec *boundsRec) {
-	end := Ref(len(h.words))
+	end := Ref(h.hi)
 	for i := rec.next; i <= h.numSegments(); i++ {
 		h.segScratch[i] = end
 	}
@@ -237,8 +260,8 @@ func (h *Heap) finishBounds(rec *boundsRec) {
 func (h *Heap) sweepCensus(opts SweepOptions) SweepStats {
 	var st SweepStats
 	rec := h.beginBounds()
-	addr := uint32(heapBase)
-	end := uint32(len(h.words))
+	addr := h.lo
+	end := h.hi
 	inRun := false
 	for addr < end {
 		hd := h.words[addr]
@@ -272,7 +295,7 @@ func (h *Heap) sweepCensus(opts SweepOptions) SweepStats {
 	h.resetFreeLists()
 	h.liveObjs = st.LiveObjects
 	h.liveWords = st.LiveWords
-	h.freeWords = h.CapacityWords() - st.LiveWords
+	h.freeWords = h.capLocal() - st.LiveWords
 
 	h.lazy.pending = true
 	h.lazy.opts = opts
@@ -314,7 +337,7 @@ func (h *Heap) sweepArm(opts SweepOptions) SweepStats {
 	h.resetFreeLists()
 	h.liveObjs = st.LiveObjects
 	h.liveWords = st.LiveWords
-	h.freeWords = h.CapacityWords() - st.LiveWords
+	h.freeWords = h.capLocal() - st.LiveWords
 
 	h.lazy.pending = true
 	h.lazy.opts = opts
@@ -540,9 +563,10 @@ func (h *Heap) sweepRange(res *rangeResult, start, end uint32, opts SweepOptions
 // exactly the table entries whose nominal base falls inside the range.
 func (h *Heap) workerBoundsRec(start, end uint32) boundsRec {
 	segW := h.segWords
-	first := int((start + segW - 1) / segW)
-	lim := int((end + segW - 1) / segW)
-	return boundsRec{out: h.segScratch, segW: segW, next: first, lim: lim}
+	base := h.lo - heapBase
+	first := int((start - base + segW - 1) / segW)
+	lim := int((end - base + segW - 1) / segW)
+	return boundsRec{out: h.segScratch, segW: segW, base: base, next: first, lim: lim}
 }
 
 // sweepParallel fans the sweep out over the parse ranges recorded by the
@@ -703,10 +727,10 @@ func (h *Heap) sweepParallel(opts SweepOptions) SweepStats {
 	h.largeBin = accHead[numExactBins]
 
 	// Ranges the workers recorded no header in (they were interior to a
-	// stitched run) inherit the next range's first header; the arena end
-	// backstops the tail. The first chunk of a swept heap is always at
-	// heapBase.
-	carry := Ref(len(h.words))
+	// stitched run) inherit the next range's first header; the zone end
+	// backstops the tail. The first chunk of a swept zone is always at its
+	// lo boundary.
+	carry := Ref(h.hi)
 	for s := h.numSegments() - 1; s >= 0; s-- {
 		if h.segScratch[s] == 0 {
 			h.segScratch[s] = carry
@@ -714,13 +738,13 @@ func (h *Heap) sweepParallel(opts SweepOptions) SweepStats {
 			carry = h.segScratch[s]
 		}
 	}
-	h.segScratch[0] = heapBase
-	h.segScratch[h.numSegments()] = Ref(len(h.words))
+	h.segScratch[0] = Ref(h.lo)
+	h.segScratch[h.numSegments()] = Ref(h.hi)
 	h.segBounds, h.segScratch = h.segScratch, h.segBounds
 
 	h.liveObjs = st.LiveObjects
 	h.liveWords = st.LiveWords
-	h.freeWords = h.CapacityWords() - st.LiveWords
+	h.freeWords = h.capLocal() - st.LiveWords
 	h.debugCheck()
 	return st
 }

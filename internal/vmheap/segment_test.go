@@ -12,6 +12,9 @@ import (
 func cloneHeap(h *Heap) *Heap {
 	c := &Heap{
 		words:        append([]uint64(nil), h.words...),
+		lo:           h.lo,
+		hi:           h.hi,
+		zoneID:       h.zoneID,
 		bins:         h.bins,
 		largeBin:     h.largeBin,
 		liveWords:    h.liveWords,
@@ -27,6 +30,7 @@ func cloneHeap(h *Heap) *Heap {
 		lazy:         h.lazy,
 	}
 	c.lazy.state = append([]segState(nil), h.lazy.state...)
+	c.peers = []*Heap{c}
 	return c
 }
 

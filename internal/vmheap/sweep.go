@@ -64,7 +64,36 @@ type SweepOptions struct {
 // A pending lazy sweep must be completed (CompleteSweep) before the trace,
 // not merely before Sweep — tracing over stale mark bits is heap
 // corruption — so Sweep panics if one is still outstanding.
+//
+// On a zoned arena Sweep keeps its whole-heap meaning: every zone is swept
+// in ascending address order and the per-zone statistics are merged. The
+// walkless MarkedKnown arm is disabled in that shape — whole-heap marked
+// totals cannot be attributed to individual zones. ZoneSweep sweeps a
+// single zone.
 func (h *Heap) Sweep(opts SweepOptions) SweepStats {
+	if len(h.peers) > 1 {
+		opts.MarkedKnown = false
+		var total SweepStats
+		for _, p := range h.peers {
+			st := p.ZoneSweep(opts)
+			total.LiveObjects += st.LiveObjects
+			total.LiveWords += st.LiveWords
+			total.FreedObjects += st.FreedObjects
+			total.FreedWords += st.FreedWords
+			total.FreeChunks += st.FreeChunks
+		}
+		return total
+	}
+	return h.ZoneSweep(opts)
+}
+
+// ZoneSweep performs the sweep phase over this zone only: reclamation,
+// coalescing, free-list rebuild, and boundary recording all stay inside
+// [lo, hi). Only this zone's allocation buffers must be retired — peers'
+// buffers may stay active, which is what keeps their mutators allocating
+// through a zone collection. For an unzoned heap ZoneSweep is Sweep.
+func (h *Heap) ZoneSweep(opts SweepOptions) SweepStats {
+	opts.OnFree = h.chainFreeObserver(opts.OnFree)
 	h.AssertNoBuffers("Sweep")
 	// Bumped before any reclamation so an allocation stamped with the old
 	// epoch is never mistaken for one this pass provably left alive.
@@ -100,8 +129,8 @@ func (h *Heap) sweepSerial(opts SweepOptions) SweepStats {
 	h.resetFreeLists()
 	rec := h.beginBounds()
 
-	addr := uint32(heapBase)
-	end := uint32(len(h.words))
+	addr := h.lo
+	end := h.hi
 	runStart := uint32(0) // start of the current run of free words; 0 = none
 	runLen := uint32(0)
 
@@ -159,7 +188,7 @@ func (h *Heap) sweepSerial(opts SweepOptions) SweepStats {
 
 	h.liveObjs = st.LiveObjects
 	h.liveWords = st.LiveWords
-	h.freeWords = h.CapacityWords() - st.LiveWords
+	h.freeWords = h.capLocal() - st.LiveWords
 	h.debugCheck()
 	return st
 }

@@ -38,33 +38,87 @@ type RefFieldsOf interface {
 // sweep is completed first: the invariants above describe a settled heap
 // (a half-swept one legitimately carries stale marks and uncoalesced runs).
 func (h *Heap) Verify(layout RefFieldsOf) []error {
-	h.AssertNoBuffers("Verify")
-	h.ensureSwept()
+	h.AssertNoBuffersAll("Verify")
 	var errs []error
 	fail := func(addr Ref, format string, args ...any) {
 		errs = append(errs, &VerifyError{Addr: addr, Msg: fmt.Sprintf(format, args...)})
 	}
 
-	// Pass 1: parse the heap, collecting object starts and free totals.
+	// Pass 1, per zone: parse the zone, collecting object starts and
+	// checking its local accounting and free-list coverage. Zone boundaries
+	// legitimately break free-run adjacency (each zone coalesces only
+	// within itself), which per-zone parsing models exactly.
 	starts := make(map[Ref]bool)
+	for _, p := range h.peers {
+		p.ensureSwept()
+		if !p.verifyParseZone(starts, fail) {
+			return errs // cannot continue parsing
+		}
+	}
+
+	// Pass 2: every reference lands on an object header.
+	checkRef := func(obj Ref, what string, c Ref) {
+		if c == Nil {
+			return
+		}
+		if c%2 != 0 {
+			fail(obj, "%s holds unaligned ref %d", what, c)
+			return
+		}
+		if !starts[c] {
+			fail(obj, "%s holds dangling ref %d", what, c)
+		}
+	}
+	for r := range starts {
+		hd := h.words[r]
+		switch headerKind(hd) {
+		case KindScalar:
+			if layout == nil {
+				continue
+			}
+			for _, off := range layout.RefOffsets(headerClass(hd)) {
+				checkRef(r, fmt.Sprintf("field +%d", off), h.RefAt(r, uint32(off)))
+			}
+		case KindRefArray:
+			n := h.ArrayLen(r)
+			if uint64(n)+arrayHeaderWords > uint64(headerSize(hd)) {
+				fail(r, "array length %d exceeds chunk size %d", n, headerSize(hd))
+				continue
+			}
+			for i := uint32(0); i < n; i++ {
+				checkRef(r, fmt.Sprintf("element %d", i), Ref(h.ArrayWord(r, i)))
+			}
+		case KindDataArray:
+			if n := h.ArrayLen(r); uint64(n)+arrayHeaderWords > uint64(headerSize(hd)) {
+				fail(r, "array length %d exceeds chunk size %d", n, headerSize(hd))
+			}
+		}
+	}
+	return errs
+}
+
+// verifyParseZone is Verify's pass 1 for a single zone: it parses [lo, hi),
+// adds object starts to starts, and checks this zone's accounting and
+// free-list coverage. It returns false when the parse cannot continue.
+func (h *Heap) verifyParseZone(starts map[Ref]bool, fail func(Ref, string, ...any)) bool {
 	var freeWalk, liveWalk uint64
 	var liveObjs uint64
-	addr := uint32(heapBase)
-	end := uint32(len(h.words))
+	addr := h.lo
+	end := h.hi
 	prevFree := false
 	for addr < end {
 		hd := h.words[addr]
 		size := headerSize(hd)
 		if size == 0 {
 			fail(Ref(addr), "zero-size header %#x", hd)
-			return errs // cannot continue parsing
+			return false
 		}
 		if size%2 != 0 {
 			fail(Ref(addr), "odd chunk size %d", size)
 		}
 		if addr+size > end {
-			fail(Ref(addr), "chunk of %d words overruns the arena", size)
-			return errs
+			fail(Ref(addr), "chunk of %d words overruns the zone", size)
+			return false
 		}
 		if hd&FlagFree != 0 {
 			if prevFree {
@@ -108,44 +162,5 @@ func (h *Heap) Verify(layout RefFieldsOf) []error {
 	if freeList != freeWalk {
 		fail(0, "free lists hold %d words, walk found %d", freeList, freeWalk)
 	}
-
-	// Pass 2: every reference lands on an object header.
-	checkRef := func(obj Ref, what string, c Ref) {
-		if c == Nil {
-			return
-		}
-		if c%2 != 0 {
-			fail(obj, "%s holds unaligned ref %d", what, c)
-			return
-		}
-		if !starts[c] {
-			fail(obj, "%s holds dangling ref %d", what, c)
-		}
-	}
-	for r := range starts {
-		hd := h.words[r]
-		switch headerKind(hd) {
-		case KindScalar:
-			if layout == nil {
-				continue
-			}
-			for _, off := range layout.RefOffsets(headerClass(hd)) {
-				checkRef(r, fmt.Sprintf("field +%d", off), h.RefAt(r, uint32(off)))
-			}
-		case KindRefArray:
-			n := h.ArrayLen(r)
-			if uint64(n)+arrayHeaderWords > uint64(headerSize(hd)) {
-				fail(r, "array length %d exceeds chunk size %d", n, headerSize(hd))
-				continue
-			}
-			for i := uint32(0); i < n; i++ {
-				checkRef(r, fmt.Sprintf("element %d", i), Ref(h.ArrayWord(r, i)))
-			}
-		case KindDataArray:
-			if n := h.ArrayLen(r); uint64(n)+arrayHeaderWords > uint64(headerSize(hd)) {
-				fail(r, "array length %d exceeds chunk size %d", n, headerSize(hd))
-			}
-		}
-	}
-	return errs
+	return true
 }
