@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench sweepbench allocbench telemetrybench pausebench zonebench difftest fuzz figures casestudies verify
+.PHONY: all build test race bench sweepbench allocbench telemetrybench pausebench zonebench tracebench parzonebench difftest fuzz figures casestudies verify
 
 all: build test
 
@@ -47,6 +47,18 @@ pausebench:
 zonebench:
 	go run ./cmd/gcbench -fig zones | tee results/zones.txt
 
+# Trace-throughput baseline: marked words/sec on the pseudojbb shape under
+# serial, parallel, and concurrent-zone tracing — the ROADMAP item 4
+# compaction work measures against this (see results/trace_throughput.txt).
+tracebench:
+	go test -run '^$$' -bench BenchmarkTraceThroughput -benchmem ./internal/harness | tee results/trace_throughput.txt
+
+# Parallel zone rotation: aggregate GC throughput (marked words/sec) and
+# mutator throughput under the serialized rotation vs concurrent rotations
+# with 1, 2, and 4 zones in flight (see results/parallel_zones.txt).
+parzonebench:
+	go run ./cmd/gcbench -fig zones -zonegcworkers 4 | tee results/parallel_zones.txt
+
 # Differential tests: serial vs parallel collections on identical scripts,
 # stop-the-world vs incremental cycles (plus the shadow-model oracle), eager
 # vs parallel vs lazy sweep modes under both collectors, direct vs buffered
@@ -58,6 +70,7 @@ difftest:
 	go test -race -run 'TestDifferential|TestIncrementalDifferential|TestOracle' -v ./internal/trace
 	go test -race -run 'TestSweepModesDifferential|TestLazySweep|TestAllocBuffer|TestTelemetry' -v ./internal/core
 	go test -race -run 'TestConcurrentDifferential' -v ./internal/core
+	go test -race -run 'TestParallelZoneDifferential' -v ./internal/core
 
 # Short coverage-guided fuzz runs: the serial/parallel equivalence, the
 # stop-the-world/incremental equivalence, the eager/parallel/lazy sweep

@@ -31,6 +31,11 @@
 // run with telemetry disabled.
 // -zones N shards the heap for -fig zones' sharded variants (the report
 // always includes the unzoned whole-heap baseline and a two-zone row).
+// -zonegcworkers W switches -fig zones to its parallel-rotation arm: the
+// same churn measured under serialized GCZones rotations and under
+// GCZonesConcurrent with up to W zones collected simultaneously,
+// comparing aggregate GC throughput (marked words/sec) at flat mutator
+// throughput (make parzonebench records it in results/parallel_zones.txt).
 //
 // Methodology follows the paper: fixed heaps at roughly twice each
 // benchmark's minimum live size, warmup iterations discarded, repeated
@@ -78,6 +83,7 @@ type options struct {
 	allocBuf     int
 	events       string
 	zones        int
+	zoneGCW      int
 }
 
 // validate rejects option combinations that would otherwise fail deep
@@ -149,6 +155,15 @@ func validate(o options) error {
 	if o.fig == "zones" && o.workers > 1 {
 		return fmt.Errorf("-workers %d with -fig zones: per-zone collections trace serially; parallel tracing does not apply", o.workers)
 	}
+	if o.zoneGCW < 0 {
+		return fmt.Errorf("-zonegcworkers %d: cannot be negative", o.zoneGCW)
+	}
+	if o.zoneGCW > 0 && o.fig != "zones" {
+		return fmt.Errorf("-zonegcworkers %d with -fig %s: concurrent rotation is -fig zones' parallel arm; it needs -zones", o.zoneGCW, o.fig)
+	}
+	if o.zoneGCW > o.zones {
+		return fmt.Errorf("-zonegcworkers %d exceeds -zones %d: cannot collect more zones simultaneously than exist", o.zoneGCW, o.zones)
+	}
 	return nil
 }
 
@@ -165,6 +180,7 @@ func main() {
 	allocBuf := flag.Int("allocbuf", 0, "per-thread allocation buffer words for the paper figures (0 = direct free-list allocation, as published)")
 	events := flag.String("events", "", "write telemetry NDJSON events from the measured runtimes to this file (paper figures and -fig trace)")
 	zones := flag.Int("zones", 4, "zone count for -fig zones' largest sharded variant")
+	zoneGCW := flag.Int("zonegcworkers", 0, "run -fig zones as the parallel-rotation report, collecting up to this many zones simultaneously (0 = pause-isolation report)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	csvPath := flag.String("csv", "", "also write raw measurements to this CSV file")
 	flag.Parse()
@@ -182,6 +198,7 @@ func main() {
 		allocBuf:     *allocBuf,
 		events:       *events,
 		zones:        *zones,
+		zoneGCW:      *zoneGCW,
 	}
 	if err := validate(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
@@ -206,6 +223,19 @@ func main() {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "measuring %s...\n", name)
 		}
+	}
+
+	if *fig == "zones" && *zoneGCW > 0 {
+		cfg := harness.DefaultParZoneReport
+		cfg.Zones = *zones
+		cfg.Workers = []int{0}
+		for w := 1; w < *zoneGCW; w *= 2 {
+			cfg.Workers = append(cfg.Workers, w)
+		}
+		cfg.Workers = append(cfg.Workers, *zoneGCW)
+		rows := harness.RunParZoneReport(cfg, progress)
+		fmt.Println(harness.FormatParZoneReport(rows))
+		return
 	}
 
 	if *fig == "zones" {

@@ -70,6 +70,10 @@ func TestValidateAccepts(t *testing.T) {
 		func(o *options) { o.fig = "zones" },
 		func(o *options) { o.fig = "zones"; o.zones = 2 },
 		func(o *options) { o.fig = "zones"; o.zones = 8 },
+		func(o *options) { o.fig = "zones"; o.zoneGCW = 1 },
+		func(o *options) { o.fig = "zones"; o.zoneGCW = 4 },
+		func(o *options) { o.fig = "zones"; o.zones = 8; o.zoneGCW = 8 },
+		func(o *options) { o.fig = "zones"; o.zones = 2; o.zoneGCW = 2 },
 	}
 	for i, mut := range cases {
 		o := defaults()
@@ -146,6 +150,15 @@ func TestValidateRejects(t *testing.T) {
 		{func(o *options) { o.fig = "zones"; o.sweepWorkers = 2 }, "configures its own"},
 		{func(o *options) { o.fig = "zones"; o.allocBuf = 512 }, "configures its own"},
 		{func(o *options) { o.fig = "zones"; o.events = "ev.ndjson" }, "configures its own"},
+		{func(o *options) { o.fig = "zones"; o.zoneGCW = -1 }, "cannot be negative"},
+		// Concurrent rotation is the zone report's parallel arm; on any
+		// other figure the worker count would be silently ignored.
+		{func(o *options) { o.fig = "all"; o.zoneGCW = 2 }, "needs -zones"},
+		{func(o *options) { o.fig = "pause"; o.zoneGCW = 4 }, "needs -zones"},
+		// More workers than zones cannot all be in flight; reject rather
+		// than silently capping inside GCZonesConcurrent.
+		{func(o *options) { o.fig = "zones"; o.zoneGCW = 8 }, "exceeds -zones"},
+		{func(o *options) { o.fig = "zones"; o.zones = 2; o.zoneGCW = 3 }, "exceeds -zones"},
 	}
 	for i, c := range cases {
 		o := defaults()

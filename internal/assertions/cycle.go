@@ -9,27 +9,73 @@ import (
 
 // This file contains the collector-facing side of the engine: the hooks
 // wired into the trace loops and the begin/end-of-cycle table maintenance.
+//
+// Cycle state is split out of the engine so collections can overlap: each
+// concurrent zone collection owns a private Cycle (report deduplication,
+// the cached Force decisions, and the Halt verdict are all per-collection),
+// while the engine's long-lived tables (region objects, ownership, stats,
+// the handler chain) are shared and guarded by e.mu. A Cycle is touched
+// only by the goroutine driving its collection, so its maps need no lock;
+// dispatch and every read of a shared table take e.mu internally. e.mu is
+// ordered after the runtime lock and the zone locks and before nothing —
+// no lock is ever acquired under it (the handler chain runs under it, so
+// handlers must not re-enter the runtime; that was already the contract
+// when they ran under the runtime lock).
 
-// BeginCycle prepares the engine for a collection: per-cycle report
-// deduplication is reset and the cycle counter advances.
+// Cycle is the per-collection assertion state: one is live for each
+// collection in flight. The whole-heap collectors use the engine's default
+// cycle (BeginCycle/Checks/Halted); concurrent zone collections create
+// their own with NewCycle/ChecksFor.
+type Cycle struct {
+	e   *Engine
+	seq uint64
+
+	// Per-cycle report deduplication. reportedDead caches the handler's
+	// action so the Force decision is applied consistently to every
+	// incoming reference of the same object.
+	reportedDead     map[vmheap.Ref]report.Action
+	reportedShared   map[vmheap.Ref]bool
+	reportedImproper map[vmheap.Ref]bool
+
+	halt *report.Violation
+}
+
+// NewCycle creates a fresh cycle for one collection. Safe to call
+// concurrently with other collections.
+func (e *Engine) NewCycle() *Cycle {
+	return &Cycle{e: e, seq: e.cycle.Add(1)}
+}
+
+// BeginCycle prepares the engine's default cycle for a collection (the
+// whole-heap path): per-cycle report deduplication is reset and the cycle
+// counter advances.
 func (e *Engine) BeginCycle() {
-	e.cycle++
-	e.reportedDead = nil
-	e.reportedShared = nil
-	e.reportedImproper = nil
-	e.halt = nil
+	e.defaultCycle = e.NewCycle()
 }
 
 // Halted returns the violation for which the handler requested Halt during
-// the current cycle, or nil.
-func (e *Engine) Halted() *report.Violation { return e.halt }
+// the engine's default cycle, or nil.
+func (e *Engine) Halted() *report.Violation { return e.defaultCycle.Halted() }
 
-// Checks returns the assertion callouts for the Infrastructure trace loop.
-func (e *Engine) Checks() trace.Checks {
+// Halted returns the violation for which the handler requested Halt during
+// this cycle, or nil.
+func (c *Cycle) Halted() *report.Violation {
+	if c == nil {
+		return nil
+	}
+	return c.halt
+}
+
+// Checks returns the assertion callouts for the Infrastructure trace loop,
+// bound to the engine's default cycle.
+func (e *Engine) Checks() trace.Checks { return e.ChecksFor(e.defaultCycle) }
+
+// ChecksFor returns the assertion callouts bound to one collection's cycle.
+func (e *Engine) ChecksFor(c *Cycle) trace.Checks {
 	return trace.Checks{
-		Dead:    e.onDead,
-		Shared:  e.onShared,
-		Unowned: e.onUnowned,
+		Dead:    c.onDead,
+		Shared:  c.onShared,
+		Unowned: c.onUnowned,
 	}
 }
 
@@ -43,7 +89,7 @@ func (e *Engine) OwnershipPhase() *trace.OwnershipPhase {
 		Owners:   e.owners,
 		OwnerOf:  e.ownerOf,
 		IsOwner:  func(r vmheap.Ref) bool { return e.heap.Flags(r, vmheap.FlagOwner) != 0 },
-		Improper: e.onImproper,
+		Improper: e.defaultCycle.onImproper,
 	}
 }
 
@@ -57,18 +103,22 @@ func (e *Engine) pathElems(path []vmheap.Ref) []report.PathElem {
 }
 
 // dispatch routes a violation to the handler and folds the returned action:
-// Halt is recorded for the collector to surface after the cycle completes
-// (the heap must reach a consistent state first), and the effective action
-// for the tracer is returned.
-func (e *Engine) dispatch(v *report.Violation) report.Action {
+// Halt is recorded on the cycle for the collector to surface after the
+// collection completes (the heap must reach a consistent state first), and
+// the effective action for the tracer is returned. The stats bump and the
+// handler call run under e.mu; the halt stash is cycle-private.
+func (c *Cycle) dispatch(v *report.Violation) report.Action {
+	e := c.e
+	e.mu.Lock()
 	e.stats.Violations++
 	act := report.Continue
 	if e.handler != nil {
 		act = e.handler.HandleViolation(v)
 	}
+	e.mu.Unlock()
 	if act == report.Halt {
-		if e.halt == nil {
-			e.halt = v
+		if c.halt == nil {
+			c.halt = v
 		}
 		return report.Continue
 	}
@@ -78,41 +128,45 @@ func (e *Engine) dispatch(v *report.Violation) report.Action {
 // onDead handles an encounter of a dead-asserted object during tracing. The
 // handler runs once per object per cycle; its action is cached so Force is
 // applied uniformly to every incoming reference.
-func (e *Engine) onDead(obj vmheap.Ref, path func() []vmheap.Ref) report.Action {
-	if act, seen := e.reportedDead[obj]; seen {
+func (c *Cycle) onDead(obj vmheap.Ref, path func() []vmheap.Ref) report.Action {
+	if act, seen := c.reportedDead[obj]; seen {
 		return act
 	}
+	e := c.e
 	kind := report.DeadReachable
+	e.mu.Lock()
 	if e.regionObjs[obj] {
 		kind = report.RegionSurvivor
 	}
+	e.mu.Unlock()
 	v := &report.Violation{
 		Kind:   kind,
-		Cycle:  e.cycle,
+		Cycle:  c.seq,
 		Object: obj,
 		Class:  e.reg.Name(e.heap.ClassID(obj)),
 		Path:   e.pathElems(path()),
 	}
-	act := e.dispatch(v)
-	if e.reportedDead == nil {
-		e.reportedDead = make(map[vmheap.Ref]report.Action)
+	act := c.dispatch(v)
+	if c.reportedDead == nil {
+		c.reportedDead = make(map[vmheap.Ref]report.Action)
 	}
-	e.reportedDead[obj] = act
+	c.reportedDead[obj] = act
 	return act
 }
 
 // onShared handles the second encounter of an unshared-asserted object.
-func (e *Engine) onShared(obj vmheap.Ref, path func() []vmheap.Ref) {
-	if e.reportedShared[obj] {
+func (c *Cycle) onShared(obj vmheap.Ref, path func() []vmheap.Ref) {
+	if c.reportedShared[obj] {
 		return
 	}
-	if e.reportedShared == nil {
-		e.reportedShared = make(map[vmheap.Ref]bool)
+	if c.reportedShared == nil {
+		c.reportedShared = make(map[vmheap.Ref]bool)
 	}
-	e.reportedShared[obj] = true
-	e.dispatch(&report.Violation{
+	c.reportedShared[obj] = true
+	e := c.e
+	c.dispatch(&report.Violation{
 		Kind:   report.SharedObject,
-		Cycle:  e.cycle,
+		Cycle:  c.seq,
 		Object: obj,
 		Class:  e.reg.Name(e.heap.ClassID(obj)),
 		Path:   e.pathElems(path()),
@@ -120,21 +174,22 @@ func (e *Engine) onShared(obj vmheap.Ref, path func() []vmheap.Ref) {
 }
 
 // onUnowned handles a root-phase visit of an ownee without the owned bit.
-func (e *Engine) onUnowned(obj vmheap.Ref, path func() []vmheap.Ref) {
-	if e.reportedImproper[obj] {
+func (c *Cycle) onUnowned(obj vmheap.Ref, path func() []vmheap.Ref) {
+	if c.reportedImproper[obj] {
 		// Already reported as improper use during the ownership phase;
 		// a second warning for the same object would be noise.
 		return
 	}
+	e := c.e
 	ownerName := "unknown owner"
 	if idx, ok := e.ownerOf(obj); ok {
 		if o := e.owners[idx]; o != vmheap.Nil {
 			ownerName = e.reg.Name(e.heap.ClassID(o))
 		}
 	}
-	e.dispatch(&report.Violation{
+	c.dispatch(&report.Violation{
 		Kind:   report.UnownedOwnee,
-		Cycle:  e.cycle,
+		Cycle:  c.seq,
 		Object: obj,
 		Class:  e.reg.Name(e.heap.ClassID(obj)),
 		Path:   e.pathElems(path()),
@@ -143,21 +198,22 @@ func (e *Engine) onUnowned(obj vmheap.Ref, path func() []vmheap.Ref) {
 }
 
 // onImproper handles an ownee reached from a different owner's scan.
-func (e *Engine) onImproper(obj vmheap.Ref, scanningOwner int, path func() []vmheap.Ref) {
-	if e.reportedImproper[obj] {
+func (c *Cycle) onImproper(obj vmheap.Ref, scanningOwner int, path func() []vmheap.Ref) {
+	if c.reportedImproper[obj] {
 		return
 	}
-	if e.reportedImproper == nil {
-		e.reportedImproper = make(map[vmheap.Ref]bool)
+	if c.reportedImproper == nil {
+		c.reportedImproper = make(map[vmheap.Ref]bool)
 	}
-	e.reportedImproper[obj] = true
+	c.reportedImproper[obj] = true
+	e := c.e
 	owner := "unknown owner"
 	if o := e.owners[scanningOwner]; o != vmheap.Nil {
 		owner = e.reg.Name(e.heap.ClassID(o))
 	}
-	e.dispatch(&report.Violation{
+	c.dispatch(&report.Violation{
 		Kind:   report.ImproperOwnership,
-		Cycle:  e.cycle,
+		Cycle:  c.seq,
 		Object: obj,
 		Class:  e.reg.Name(e.heap.ClassID(obj)),
 		Path:   e.pathElems(path()),
@@ -170,9 +226,9 @@ func (e *Engine) onImproper(obj vmheap.Ref, scanningOwner int, path func() []vmh
 // (the paper's Section 2.7 limitation for assert-instances).
 func (e *Engine) CheckInstanceLimits() {
 	for _, over := range e.reg.CheckLimits() {
-		e.dispatch(&report.Violation{
+		e.defaultCycle.dispatch(&report.Violation{
 			Kind:  report.TooManyInstances,
-			Cycle: e.cycle,
+			Cycle: e.defaultCycle.seq,
 			Class: over.Class.Name,
 			Count: over.Count,
 			Limit: over.Limit,
@@ -181,20 +237,26 @@ func (e *Engine) CheckInstanceLimits() {
 }
 
 // CheckInstanceTotals judges instance limits against caller-summed counts
-// (in Registry trackedIDs order, as drained by Registry.TakeCounts). The
-// zoned runtime uses this after a full zone rotation: each zone collection
-// counts only its own zone's live instances, so only the sum across every
-// zone is comparable to a whole-heap count.
-func (e *Engine) CheckInstanceTotals(counts []int64) {
+// (in Registry trackedIDs order, as drained by Registry.TakeCounts or
+// folded by Registry.FoldLocalCounts). The zoned runtime uses this after a
+// full zone rotation: each zone collection counts only its own zone's live
+// instances, so only the sum across every zone is comparable to a
+// whole-heap count. The check runs on its own cycle (the rotation that
+// produced the counts may have spanned several per-zone cycles), so a
+// handler-requested Halt is returned rather than stashed on the default
+// cycle.
+func (e *Engine) CheckInstanceTotals(counts []int64) *report.Violation {
+	c := e.NewCycle()
 	for _, over := range e.reg.CheckTotals(counts) {
-		e.dispatch(&report.Violation{
+		c.dispatch(&report.Violation{
 			Kind:  report.TooManyInstances,
-			Cycle: e.cycle,
+			Cycle: c.seq,
 			Class: over.Class.Name,
 			Count: over.Count,
 			Limit: over.Limit,
 		})
 	}
+	return c.halt
 }
 
 // ReportRetireSurvivor reports one object that survived a Zone.Retire: the
@@ -204,9 +266,9 @@ func (e *Engine) CheckInstanceTotals(counts []int64) {
 // trace ran, so the path holds only the object itself. The caller brackets
 // the whole retire in one BeginCycle and reports each survivor once.
 func (e *Engine) ReportRetireSurvivor(obj vmheap.Ref) {
-	e.dispatch(&report.Violation{
+	e.defaultCycle.dispatch(&report.Violation{
 		Kind:   report.RegionSurvivor,
-		Cycle:  e.cycle,
+		Cycle:  e.defaultCycle.seq,
 		Object: obj,
 		Class:  e.reg.Name(e.heap.ClassID(obj)),
 		Path:   e.pathElems([]vmheap.Ref{obj}),
@@ -232,9 +294,15 @@ func (e *Engine) ReportRetireSurvivor(obj vmheap.Ref) {
 //
 // The live predicate tells the engine which objects survive the imminent
 // sweep: for a full collection that is the mark bit; for a generational
-// minor collection, mark bit or maturity.
+// minor collection, mark bit or maturity; for a zone collection, "outside
+// the zone, or marked". The whole pass runs under e.mu so concurrent zone
+// collections' purges, and mutator-side region recording, serialize
+// against it.
 func (e *Engine) PreSweep(live func(vmheap.Ref) bool) {
 	marked := live
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
 
 	for _, t := range e.threads.All() {
 		t.PurgeRegionQueues(marked)
@@ -333,10 +401,17 @@ func (e *Engine) SweepFlags() uint64 { return vmheap.FlagOwned }
 // and a later allocation recycling such a Ref would be misreported as a
 // RegionSurvivor if it is ever asserted dead.
 func (e *Engine) FreeHook() func(vmheap.Ref, uint64) {
-	if len(e.regionObjs) == 0 {
+	e.mu.Lock()
+	n := len(e.regionObjs)
+	e.mu.Unlock()
+	if n == 0 {
 		return nil
 	}
-	return func(r vmheap.Ref, _ uint64) { delete(e.regionObjs, r) }
+	return func(r vmheap.Ref, _ uint64) {
+		e.mu.Lock()
+		delete(e.regionObjs, r)
+		e.mu.Unlock()
+	}
 }
 
 // InstanceLimitFor exposes a class's current limit (tools and tests).

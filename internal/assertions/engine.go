@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/classes"
 	"repro/internal/report"
@@ -49,19 +51,26 @@ type Engine struct {
 	threads *threads.Set
 	handler report.Handler
 
-	cycle uint64
+	cycle atomic.Uint64
+
+	// mu guards the engine's shared, long-lived tables (regionObjs, the
+	// region queues of every thread, ownership, stats) and the handler
+	// chain against concurrent zone collections. It is a near-leaf lock:
+	// acquired after the runtime lock and the zone locks, and nothing is
+	// acquired under it. Per-collection state lives on a Cycle and needs
+	// no lock (see cycle.go).
+	mu sync.Mutex
+
+	// defaultCycle is the cycle used by the serialized collection paths
+	// (whole-heap GC, GCZones rotations): BeginCycle resets it, and
+	// Checks/Halted are bound to it. Concurrent zone collections create
+	// private cycles with NewCycle.
+	defaultCycle *Cycle
 
 	// regionObjs records which dead-asserted objects came from an
 	// assert-alldead bracket, so their violations carry the
 	// RegionSurvivor kind. Entries are purged when objects are freed.
 	regionObjs map[vmheap.Ref]bool
-
-	// Per-cycle report deduplication. reportedDead caches the handler's
-	// action so the Force decision is applied consistently to every
-	// incoming reference of the same object.
-	reportedDead     map[vmheap.Ref]report.Action
-	reportedShared   map[vmheap.Ref]bool
-	reportedImproper map[vmheap.Ref]bool
 
 	// Ownership tables. owners may contain Nil holes after an owner is
 	// collected; ownerIndex maps live owner objects to their slot.
@@ -69,15 +78,13 @@ type Engine struct {
 	ownerIndex map[vmheap.Ref]int
 	ownees     []owneeEntry // sorted by obj
 
-	halt *report.Violation
-
 	stats Stats
 }
 
 // New creates an engine bound to the given heap, registry, thread set and
 // violation handler.
 func New(h *vmheap.Heap, reg *classes.Registry, ts *threads.Set, handler report.Handler) *Engine {
-	return &Engine{
+	e := &Engine{
 		heap:       h,
 		reg:        reg,
 		threads:    ts,
@@ -85,13 +92,25 @@ func New(h *vmheap.Heap, reg *classes.Registry, ts *threads.Set, handler report.
 		regionObjs: make(map[vmheap.Ref]bool),
 		ownerIndex: make(map[vmheap.Ref]int),
 	}
+	// The initial default cycle exists so pre-collection paths never see a
+	// nil cycle; it must NOT consume a sequence number — the first real
+	// collection's BeginCycle is cycle 1, as reports have always numbered.
+	e.defaultCycle = &Cycle{e: e}
+	return e
 }
 
 // SetHandler replaces the violation handler.
 func (e *Engine) SetHandler(h report.Handler) { e.handler = h }
 
+// Guard exposes the engine's table lock so the runtime can serialize its
+// own touches of engine-shared state (thread creation, region-queue
+// recording on the allocation path) against concurrent zone collections.
+func (e *Engine) Guard() *sync.Mutex { return &e.mu }
+
 // Stats returns a snapshot of assertion activity.
 func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	s := e.stats
 	s.OwneesLive = len(e.ownees)
 	return s
@@ -117,7 +136,9 @@ func (e *Engine) AssertDead(r vmheap.Ref) error {
 		return err
 	}
 	e.heap.SetFlags(r, vmheap.FlagDead)
+	e.mu.Lock()
 	e.stats.DeadAsserts++
+	e.mu.Unlock()
 	return nil
 }
 
@@ -128,7 +149,9 @@ func (e *Engine) AssertUnshared(r vmheap.Ref) error {
 		return err
 	}
 	e.heap.SetFlags(r, vmheap.FlagUnshared)
+	e.mu.Lock()
 	e.stats.UnsharedAsserts++
+	e.mu.Unlock()
 	return nil
 }
 
@@ -138,14 +161,18 @@ func (e *Engine) AssertInstances(c *classes.Class, limit int64, includeSubclasse
 		return fmt.Errorf("assertions: assert-instances: negative limit %d", limit)
 	}
 	e.reg.SetInstanceLimit(c, limit, includeSubclasses)
+	e.mu.Lock()
 	e.stats.InstanceAsserts++
+	e.mu.Unlock()
 	return nil
 }
 
 // StartRegion implements start-region() on the given thread.
 func (e *Engine) StartRegion(t *threads.Thread) {
+	e.mu.Lock()
 	t.StartRegion()
 	e.stats.RegionsStarted++
+	e.mu.Unlock()
 }
 
 // AssertAllDead implements assert-alldead(): every object allocated in the
@@ -154,6 +181,8 @@ func (e *Engine) StartRegion(t *threads.Thread) {
 // the queue that died during an intervening GC were purged by the collector
 // and are correctly absent.
 func (e *Engine) AssertAllDead(t *threads.Thread) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	queue, err := t.EndRegion()
 	if err != nil {
 		return err
@@ -195,6 +224,8 @@ func (e *Engine) AssertOwnedBy(owner, ownee vmheap.Ref) error {
 		return errors.New("assertions: assert-ownedby: ownee is already an owner")
 	}
 
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	idx, known := e.ownerIndex[owner]
 	if !known {
 		idx = len(e.owners)

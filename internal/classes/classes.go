@@ -274,6 +274,35 @@ func (r *Registry) CountInstances(id uint32, n int64) {
 	}
 }
 
+// FoldLocalCounts converts a per-trace tally of raw class IDs to live
+// instance counts into trackedIDs order, routing each class's count to the
+// class that tracks it (itself, or the nearest subclass-inclusive
+// ancestor) exactly as CountInstances would. Concurrent zone traces count
+// into a private map instead of the shared per-class counters — two
+// overlapping traces bumping c.instanceCount would corrupt both tallies —
+// and fold here after the trace, under the caller's lock.
+func (r *Registry) FoldLocalCounts(m map[uint32]int64) []int64 {
+	out := make([]int64, len(r.trackedIDs))
+	slot := make(map[uint32]int, len(r.trackedIDs))
+	for i, id := range r.trackedIDs {
+		slot[id] = i
+	}
+	for id, n := range m {
+		c := r.classes[id]
+		if c.instanceLimit != NoLimit {
+			out[slot[c.ID]] += n
+			continue
+		}
+		for k := c.Super; k != nil; k = k.Super {
+			if k.instanceLimit != NoLimit && k.includeSubclasses {
+				out[slot[k.ID]] += n
+				break
+			}
+		}
+	}
+	return out
+}
+
 // OverLimit is one instance-limit violation found at the end of a GC.
 type OverLimit struct {
 	Class *Class

@@ -16,6 +16,12 @@ var ErrAssertionsDisabled = errors.New("core: assertions require Infrastructure 
 // the program can register anything new. A *report.HaltError from that
 // completion is returned and the registration does not happen; the caller
 // observes the halt just as it would from the collection call itself.
+//
+// Registrations hold the WORLD lock on a zoned runtime, not just rt.mu:
+// they flip header bits and engine tables that an in-flight concurrent zone
+// collection reads mid-trace, so they wait for every zone's collection to
+// fold first. (StartRegion is the exception — it only pushes a region
+// queue, which the engine guard covers.)
 func (rt *Runtime) finishCycleForRegistration() error {
 	// A pacer-started cycle is completed through the pacer so its growth
 	// ledger, cycle count, and retrigger baseline stay truthful (the pacer
@@ -34,8 +40,8 @@ func (rt *Runtime) finishCycleForRegistration() error {
 // collection: if the collector finds it reachable, a DeadReachable
 // violation with the complete heap path is reported.
 func (rt *Runtime) AssertDead(obj Ref) error {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	if rt.engine == nil {
 		return ErrAssertionsDisabled
 	}
@@ -49,8 +55,8 @@ func (rt *Runtime) AssertDead(obj Ref) error {
 // trace encounters it twice, a SharedObject violation is reported with the
 // second path.
 func (rt *Runtime) AssertUnshared(obj Ref) error {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	if rt.engine == nil {
 		return ErrAssertionsDisabled
 	}
@@ -64,8 +70,8 @@ func (rt *Runtime) AssertUnshared(obj Ref) error {
 // each full collection. Passing 0 asserts that no instances exist at GC
 // time. The limit counts exact types, as in the paper.
 func (rt *Runtime) AssertInstances(c *Class, limit int64) error {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	if rt.engine == nil {
 		return ErrAssertionsDisabled
 	}
@@ -78,8 +84,8 @@ func (rt *Runtime) AssertInstances(c *Class, limit int64) error {
 // AssertInstancesIncludingSubclasses is AssertInstances with the count
 // widened to all subclasses of c (an extension beyond the paper).
 func (rt *Runtime) AssertInstancesIncludingSubclasses(c *Class, limit int64) error {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	if rt.engine == nil {
 		return ErrAssertionsDisabled
 	}
@@ -94,8 +100,8 @@ func (rt *Runtime) AssertInstancesIncludingSubclasses(c *Class, limit int64) err
 // through owner. Owner regions must be disjoint (see the paper's Section
 // 2.5.2); structurally conflicting registrations are rejected.
 func (rt *Runtime) AssertOwnedBy(owner, ownee Ref) error {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	if rt.engine == nil {
 		return ErrAssertionsDisabled
 	}
@@ -128,8 +134,8 @@ func (t *Thread) StartRegion() error {
 // object allocated within it dead: any of them still reachable at the next
 // full collection is reported as a RegionSurvivor violation.
 func (t *Thread) AssertAllDead() error {
-	t.rt.mu.Lock()
-	defer t.rt.mu.Unlock()
+	t.rt.lockWorld()
+	defer t.rt.unlockWorld()
 	if t.rt.engine == nil {
 		return ErrAssertionsDisabled
 	}

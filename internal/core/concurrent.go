@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/vmheap"
@@ -98,9 +99,12 @@ func (p *pinnedRoots) EachRoot(fn func(slot *vmheap.Ref)) {
 
 // collectPins rebuilds the pinned-root set from every thread's recent
 // allocations. Must run before any root-scanning collection start while
-// the pacer is active; a no-op otherwise. Caller holds rt.mu.
+// pins are active (Runtime.pinsActive: the pacer's background goroutine,
+// or any runtime with two or more mutator threads — in both, a collection
+// can run to completion inside another goroutine's allocate-to-publish
+// window); a no-op otherwise. Caller holds rt.mu.
 func (rt *Runtime) collectPins() {
-	if rt.pacer == nil {
+	if !rt.pinsActive() {
 		return
 	}
 	rt.pinned.refs = rt.pinned.refs[:0]
@@ -146,6 +150,8 @@ type PacerStats struct {
 	ForcedFinishes      uint64 // assists that hit the growth cap and completed the cycle
 	MaxCycleGrowthWords uint64 // largest heap growth observed during any cycle
 	GrowthCapWords      uint64 // the cap MaxCycleGrowthWords never exceeds
+	ZoneTriggers        uint64 // zone collections launched by the per-zone trigger
+	ZoneCycles          uint64 // pacer-launched zone collections completed
 }
 
 // gcPacer is the background collection scheduler. The channels are fixed
@@ -167,6 +173,17 @@ type gcPacer struct {
 	pending   error  // HaltError from a background/assist-completed cycle
 	closed    bool
 	stats     PacerStats
+
+	// Zone-aware pacing (Config.ZoneGCWorkers > 0): up to zoneWorkers
+	// concurrent zone collections run on worker goroutines, triggered per
+	// zone by that zone's occupancy plus the words its allocation slow path
+	// has consumed since its last collection (zoneAlloc — the per-zone
+	// allocation-rate ledger). All guarded by rt.mu except zoneWG.
+	zoneWorkers    int
+	zoneDispatched []bool   // worker launched for this zone, not yet retired
+	zoneAlloc      []uint64 // slow-path words allocated since the zone's last cycle
+	zoneInFlight   int
+	zoneWG         sync.WaitGroup
 }
 
 // newPacer sizes the trigger and growth cap from the heap capacity.
@@ -194,6 +211,11 @@ func newPacer(rt *Runtime, trigger, slack float64) *gcPacer {
 		p.capWords = 4 * carveSlackWords
 	}
 	p.stats.GrowthCapWords = p.capWords
+	if rt.zoneGCWorkers > 0 {
+		p.zoneWorkers = rt.zoneGCWorkers
+		p.zoneDispatched = make([]bool, len(rt.zoneHeaps))
+		p.zoneAlloc = make([]uint64, len(rt.zoneHeaps))
+	}
 	return p
 }
 
@@ -226,6 +248,9 @@ func (p *gcPacer) drive() {
 		var progress bool
 		if !p.active {
 			progress = p.startLocked()
+			if !progress {
+				progress = p.dispatchZonesLocked()
+			}
 		} else {
 			done := p.rt.collector.StepMark()
 			p.stats.BackgroundSlices++
@@ -265,6 +290,13 @@ func (p *gcPacer) startLocked() bool {
 	if p.active || p.pending != nil {
 		return false
 	}
+	if p.rt.zoneGC > 0 || p.zoneInFlight > 0 {
+		// A concurrent zone collection is (or is about to be) mutating its
+		// zone's counters under only its zone lock: the aggregate reads
+		// below would race, and a whole-heap cycle would stall against the
+		// zone locks anyway. The zone cycles are the pacing for now.
+		return false
+	}
 	h := p.rt.heap
 	used := h.CapacityWords() - h.FreeWords()
 	if used < p.triggerWords {
@@ -295,6 +327,75 @@ func (p *gcPacer) startLocked() bool {
 	p.startFree = h.FreeWords()
 	p.startWork = h.LiveObjects()
 	return true
+}
+
+// zoneMinRetrigger is the slow-path allocation volume a zone must have
+// consumed since its last collection before its trigger may fire again —
+// the per-zone analog of minRetrigger, scaled to the zone's share of the
+// heap.
+func (p *gcPacer) zoneMinRetrigger() uint64 {
+	if m := p.minRetrigger() / uint64(len(p.rt.zoneHeaps)); m > 64 {
+		return m
+	}
+	return 64
+}
+
+// dispatchZonesLocked scans per-zone occupancy and launches concurrent zone
+// collections on worker goroutines, up to zoneWorkers simultaneously. A
+// zone triggers when its used words cross its share of the whole-heap
+// trigger threshold AND its allocation slow path has consumed enough words
+// since its last collection (an occupied-but-idle zone would otherwise be
+// re-collected every poll). Reports whether a worker was launched. Caller
+// holds rt.mu with no whole-heap cycle active.
+func (p *gcPacer) dispatchZonesLocked() bool {
+	if p.zoneWorkers == 0 || p.closed || p.active || p.pending != nil {
+		return false
+	}
+	launched := false
+	for zi := range p.rt.zoneHeaps {
+		if p.zoneInFlight >= p.zoneWorkers {
+			break
+		}
+		if p.zoneDispatched[zi] || p.rt.zoneCollecting[zi] {
+			continue
+		}
+		if p.zoneAlloc[zi] < p.zoneMinRetrigger() {
+			continue
+		}
+		// ZoneInfoAt touches only zone zi's counters; zi is neither
+		// collecting nor dispatched, so nothing mutates them concurrently.
+		info := p.rt.heap.ZoneInfoAt(zi)
+		zcap := uint64(info.Hi - info.Lo)
+		trig := uint64(float64(zcap) / float64(p.rt.heap.CapacityWords()) * float64(p.triggerWords))
+		if zcap-info.FreeWords < trig {
+			continue
+		}
+		p.zoneDispatched[zi] = true
+		p.zoneInFlight++
+		p.stats.ZoneTriggers++
+		p.rt.tele.Trigger(zcap-info.FreeWords, trig)
+		p.zoneWG.Add(1)
+		go p.zoneWorker(zi)
+		launched = true
+	}
+	return launched
+}
+
+// zoneWorker runs one pacer-launched concurrent zone collection and retires
+// its dispatch slot. A collection error (HaltError) is stashed in pending
+// for the next runtime entry point, like a background whole-heap cycle's.
+func (p *gcPacer) zoneWorker(zi int) {
+	defer p.zoneWG.Done()
+	_, _, err := p.rt.collectZoneConcurrent(zi)
+	p.rt.mu.Lock()
+	p.zoneDispatched[zi] = false
+	p.zoneInFlight--
+	p.zoneAlloc[zi] = 0
+	p.stats.ZoneCycles++
+	if err != nil && p.pending == nil {
+		p.pending = err
+	}
+	p.rt.mu.Unlock()
 }
 
 // growthLocked measures heap growth since the cycle started (active
@@ -328,14 +429,25 @@ func (p *gcPacer) finishLocked() {
 	p.stats.Cycles++
 }
 
-// allocPacingLocked is the allocation slow path's pacing hook: start a
-// cycle if the trigger has been crossed (the background goroutine may not
-// win rt.mu against a tight allocation loop, so the trigger must also fire
-// from the path that causes the growth), then pay the assist tax. A no-op
-// after Close: the quiesced runtime schedules no new cycles. Caller holds
-// rt.mu.
-func (p *gcPacer) allocPacingLocked(need uint64) {
+// allocPacingLocked is the allocation slow path's pacing hook: account the
+// allocation to its zone's rate ledger, start a cycle if the trigger has
+// been crossed (the background goroutine may not win rt.mu against a tight
+// allocation loop, so the trigger must also fire from the path that causes
+// the growth), then pay the assist tax. zi is the allocating zone (0 on an
+// unzoned runtime). A no-op after Close: the quiesced runtime schedules no
+// new cycles. Caller holds rt.mu.
+func (p *gcPacer) allocPacingLocked(zi int, need uint64) {
 	if p.closed {
+		return
+	}
+	if p.zoneWorkers > 0 {
+		p.zoneAlloc[zi] += need
+	}
+	if p.rt.zoneGC > 0 {
+		// An in-flight zone collection owns its zone's counters; the
+		// whole-heap trigger and the assist both read cross-zone aggregates,
+		// so they stand down until the zone cycles fold (the zone
+		// collections themselves are the reclamation meanwhile).
 		return
 	}
 	if !p.active {
@@ -432,9 +544,18 @@ func (rt *Runtime) Close() error {
 		close(p.quit)
 	}
 	<-p.done
+	// In-flight zone-collection workers finish on their own (closed only
+	// stops NEW dispatches); wait with no locks held — they need the zone
+	// locks and rt.mu to fold.
+	p.zoneWG.Wait()
 
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	if rt.zlocks != nil {
+		rt.lockWorld()
+		defer rt.unlockWorld()
+	} else {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+	}
 	for _, t := range rt.allThreads {
 		t.lockBuf()
 		t.pins = [threadPinSlots]allocPin{}

@@ -12,12 +12,119 @@ import "repro/internal/vmheap"
 // (remset.go), which reads the slot's old value before the store to keep
 // the per-zone sets exact.
 //
+// Locking. On an unzoned runtime every accessor serializes on rt.mu, as
+// always. On a zoned runtime accessors hold zone locks instead (plus rt.mu
+// when whole-heap incremental/pacer cycles require it — Runtime.zonedMu):
+//
+//   - reads and data stores lock the zone of the object touched;
+//   - reference stores lock the zones of the object, the new value, AND the
+//     slot's current value, ascending (the old value is re-read after each
+//     lock acquisition until the set is stable).
+//
+// Holding the OLD value's zone lock is what makes concurrent zone
+// collection sound: while zone Z is being collected, no mutator can sever
+// (or create) a reference into Z, so the references Z's setup phase roots
+// through — remembered-set slots included — cannot change until the drain
+// completes. Reads of a reference slot use the atomic accessors: a slot
+// holding a cross-zone reference can be force-nulled by the target zone's
+// collection (assert-dead Force verdicts) with only the target's zone lock
+// held.
+//
 // Field offsets come from Class.MustFieldIndex; workload code resolves them
 // once at setup and uses the integer offsets on the hot paths, the way a
 // managed runtime compiles field accesses to fixed offsets.
 
+// zoneLockSet tracks the ascending set of zone locks an accessor holds
+// (at most three: object, old value, new value — duplicates merged).
+type zoneLockSet struct {
+	idx [3]int
+	n   int
+	mu  bool // rt.mu is held too (Runtime.zonedMu)
+}
+
+// add inserts zone zi keeping idx sorted ascending; reports whether it was
+// absent. Must not be called while the set's locks are held.
+func (s *zoneLockSet) add(zi int) bool {
+	for i := 0; i < s.n; i++ {
+		if s.idx[i] == zi {
+			return false
+		}
+	}
+	s.idx[s.n] = zi
+	s.n++
+	for i := s.n - 1; i > 0 && s.idx[i] < s.idx[i-1]; i-- {
+		s.idx[i], s.idx[i-1] = s.idx[i-1], s.idx[i]
+	}
+	return true
+}
+
+func (s *zoneLockSet) has(zi int) bool {
+	for i := 0; i < s.n; i++ {
+		if s.idx[i] == zi {
+			return true
+		}
+	}
+	return false
+}
+
+// lockZoneSet acquires the set's zone locks in ascending order, then rt.mu
+// if the configuration requires it.
+func (rt *Runtime) lockZoneSet(s *zoneLockSet) {
+	for i := 0; i < s.n; i++ {
+		rt.zlocks[s.idx[i]].Lock()
+	}
+	if rt.zonedMu {
+		rt.mu.Lock()
+		s.mu = true
+	}
+}
+
+// unlockZoneSet releases everything lockZoneSet acquired.
+func (rt *Runtime) unlockZoneSet(s *zoneLockSet) {
+	if s.mu {
+		rt.mu.Unlock()
+		s.mu = false
+	}
+	for i := s.n - 1; i >= 0; i-- {
+		rt.zlocks[s.idx[i]].Unlock()
+	}
+}
+
+// lockRefStore acquires the zone locks covering a reference store into
+// obj's slot: obj's zone, val's zone, and the zone of the slot's current
+// value, read by the supplied function. The current value can change while
+// locks are being (re)acquired — another mutator or a force-null may write
+// the slot — so it is re-read after every acquisition until its zone is
+// covered; the set only grows, so the loop terminates. check runs under
+// the first acquisition (it validates obj before the slot is read); a
+// panic from it unwinds through the caller's deferred unlock.
+func (rt *Runtime) lockRefStore(s *zoneLockSet, obj, val Ref, check func(), read func() Ref) Ref {
+	s.add(rt.heap.ZoneIndexOf(obj))
+	if val != Nil {
+		s.add(rt.heap.ZoneIndexOf(val))
+	}
+	rt.lockZoneSet(s)
+	check()
+	for {
+		old := read()
+		if old == Nil || s.has(rt.heap.ZoneIndexOf(old)) {
+			return old
+		}
+		zo := rt.heap.ZoneIndexOf(old)
+		rt.unlockZoneSet(s)
+		s.add(zo)
+		rt.lockZoneSet(s)
+	}
+}
+
 // GetRef reads the reference field at word offset off of obj.
 func (rt *Runtime) GetRef(obj Ref, off uint16) Ref {
+	if rt.zlocks != nil {
+		rt.lockObjZone(obj)
+		defer rt.unlockObjZone(obj)
+		rt.checkField(obj, off)
+		return rt.heap.RefAtAtomic(obj, uint32(off))
+	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.checkField(obj, off)
@@ -26,6 +133,17 @@ func (rt *Runtime) GetRef(obj Ref, off uint16) Ref {
 
 // SetRef stores a reference into the field at word offset off of obj.
 func (rt *Runtime) SetRef(obj Ref, off uint16, val Ref) {
+	if rt.zlocks != nil {
+		var s zoneLockSet
+		defer func() { rt.unlockZoneSet(&s) }()
+		old := rt.lockRefStore(&s, obj, val,
+			func() { rt.checkField(obj, off) },
+			func() Ref { return rt.heap.RefAtAtomic(obj, uint32(off)) })
+		rt.collector.SnapshotBarrier(obj)
+		rt.remsets.recordStore(obj, rt.heap.FieldSlotIndex(obj, uint32(off)), old, val)
+		rt.heap.SetRefAt(obj, uint32(off), val)
+		return
+	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.checkField(obj, off)
@@ -40,6 +158,12 @@ func (rt *Runtime) SetRef(obj Ref, off uint16, val Ref) {
 
 // GetData reads the raw data field at word offset off of obj.
 func (rt *Runtime) GetData(obj Ref, off uint16) uint64 {
+	if rt.zlocks != nil {
+		rt.lockObjZone(obj)
+		defer rt.unlockObjZone(obj)
+		rt.checkField(obj, off)
+		return rt.heap.Word(obj, uint32(off))
+	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.checkField(obj, off)
@@ -48,6 +172,13 @@ func (rt *Runtime) GetData(obj Ref, off uint16) uint64 {
 
 // SetData stores a raw word into the field at word offset off of obj.
 func (rt *Runtime) SetData(obj Ref, off uint16, v uint64) {
+	if rt.zlocks != nil {
+		rt.lockObjZone(obj)
+		defer rt.unlockObjZone(obj)
+		rt.checkField(obj, off)
+		rt.heap.SetWord(obj, uint32(off), v)
+		return
+	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.checkField(obj, off)
@@ -66,6 +197,11 @@ func (rt *Runtime) SetInt(obj Ref, off uint16, v int64) {
 
 // ArrLen returns the element count of the array at arr.
 func (rt *Runtime) ArrLen(arr Ref) int {
+	if rt.zlocks != nil {
+		rt.lockObjZone(arr)
+		defer rt.unlockObjZone(arr)
+		return int(rt.heap.ArrayLen(arr))
+	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return int(rt.heap.ArrayLen(arr))
@@ -73,6 +209,12 @@ func (rt *Runtime) ArrLen(arr Ref) int {
 
 // ArrGetRef reads element i of a reference array.
 func (rt *Runtime) ArrGetRef(arr Ref, i int) Ref {
+	if rt.zlocks != nil {
+		rt.lockObjZone(arr)
+		defer rt.unlockObjZone(arr)
+		rt.checkIndex(arr, i)
+		return Ref(rt.heap.ArrayWordAtomic(arr, uint32(i)))
+	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.checkIndex(arr, i)
@@ -81,6 +223,17 @@ func (rt *Runtime) ArrGetRef(arr Ref, i int) Ref {
 
 // ArrSetRef stores a reference into element i of a reference array.
 func (rt *Runtime) ArrSetRef(arr Ref, i int, val Ref) {
+	if rt.zlocks != nil {
+		var s zoneLockSet
+		defer func() { rt.unlockZoneSet(&s) }()
+		old := rt.lockRefStore(&s, arr, val,
+			func() { rt.checkIndex(arr, i) },
+			func() Ref { return Ref(rt.heap.ArrayWordAtomic(arr, uint32(i))) })
+		rt.collector.SnapshotBarrier(arr)
+		rt.remsets.recordStore(arr, rt.heap.ArraySlotIndex(arr, uint32(i)), old, val)
+		rt.heap.SetArrayWord(arr, uint32(i), uint64(val))
+		return
+	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.checkIndex(arr, i)
@@ -95,6 +248,12 @@ func (rt *Runtime) ArrSetRef(arr Ref, i int, val Ref) {
 
 // ArrGetData reads element i of a data array.
 func (rt *Runtime) ArrGetData(arr Ref, i int) uint64 {
+	if rt.zlocks != nil {
+		rt.lockObjZone(arr)
+		defer rt.unlockObjZone(arr)
+		rt.checkIndex(arr, i)
+		return rt.heap.ArrayWord(arr, uint32(i))
+	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.checkIndex(arr, i)
@@ -103,6 +262,13 @@ func (rt *Runtime) ArrGetData(arr Ref, i int) uint64 {
 
 // ArrSetData stores a word into element i of a data array.
 func (rt *Runtime) ArrSetData(arr Ref, i int, v uint64) {
+	if rt.zlocks != nil {
+		rt.lockObjZone(arr)
+		defer rt.unlockObjZone(arr)
+		rt.checkIndex(arr, i)
+		rt.heap.SetArrayWord(arr, uint32(i), v)
+		return
+	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.checkIndex(arr, i)

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/vmheap"
+)
+
+// TestConcurrentZoneCollectRace is the concurrent-collection stress for
+// the race detector (make race / the CI -race job). Where
+// TestZoneShardedUnderRace lets collections overlap by chance,
+// this test guarantees overlap: two dedicated collector goroutines loop
+// Zone.Collect back to back on disjoint zone pairs — so two zone
+// collections are almost always simultaneously in flight, exercising the
+// per-zone claim protocol against itself — while four mutator threads
+// (one per zone) keep allocating, wiring cross-zone references through a
+// shared hub, and registering assertions, and a third driver
+// periodically runs GCZonesConcurrent(4) so full-width rotations contend
+// with the standing collectors and the mutators at once.
+func TestConcurrentZoneCollectRace(t *testing.T) {
+	const (
+		mutators = 4
+		iters    = 1000
+		locals   = 4
+		collects = 150
+	)
+	rt := New(Config{HeapWords: 1 << 15, Mode: Infrastructure, Zones: mutators,
+		AllocBuffers: 256})
+	node := rt.DefineClass("CZNode", RefField("a"), RefField("b"))
+	aOff := node.MustFieldIndex("a")
+
+	main := rt.MainThread()
+	mainFr := main.PushFrame(1)
+	hub := main.NewRefArray(mutators)
+	mainFr.SetLocal(0, hub)
+
+	ths := make([]*Thread, mutators)
+	for m := range ths {
+		ths[m] = rt.NewThread(fmt.Sprintf("czmut%d", m))
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Mutators: allocate, publish into the hub, adopt neighbors' objects.
+	for m := 0; m < mutators; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			th := ths[m]
+			th.SetZone(rt.Zone(m))
+			fr := th.PushFrame(locals)
+			rng := rand.New(rand.NewSource(int64(m) + 41))
+			for i := 0; i < iters; i++ {
+				switch rng.Intn(6) {
+				case 0, 1:
+					fr.SetLocal(rng.Intn(locals), th.New(node))
+				case 2:
+					rt.ArrSetRef(hub, m, fr.Local(rng.Intn(locals)))
+				case 3:
+					src := fr.Local(rng.Intn(locals))
+					dst := rt.ArrGetRef(hub, rng.Intn(mutators))
+					if src != Nil && rt.KindOf(src) == int(vmheap.KindScalar) {
+						rt.SetRef(src, aOff, dst)
+					}
+				case 4:
+					if r := fr.Local(rng.Intn(locals)); r != Nil && rng.Intn(2) == 0 {
+						_ = rt.AssertUnshared(r)
+					}
+				case 5:
+					_ = th.NewDataArray(8 + rng.Intn(16))
+				}
+				if i%100 == 99 {
+					for s := 0; s < locals; s++ {
+						fr.SetLocal(s, Nil)
+					}
+					rt.ArrSetRef(hub, m, Nil)
+				}
+			}
+		}(m)
+	}
+
+	// Two standing collectors on disjoint zone pairs: each loops with no
+	// pause, so their collections overlap each other (and the rotations
+	// below) essentially continuously.
+	collectorDone := make([]int, 2)
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < collects; i++ {
+				zi := c*2 + i%2 // collector 0: zones 0,1; collector 1: zones 2,3
+				if err := rt.Zone(zi).Collect(); err != nil {
+					t.Errorf("collector %d: Zone(%d).Collect: %v", c, zi, err)
+					return
+				}
+				collectorDone[c]++
+			}
+		}(c)
+	}
+
+	// Full-width rotations racing the standing collectors.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := rt.GCZonesConcurrent(mutators); err != nil {
+				t.Errorf("GCZonesConcurrent: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+
+	if err := rt.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := rt.GC(); err != nil {
+		t.Fatalf("final GC: %v", err)
+	}
+	if errs := rt.VerifyHeap(); len(errs) != 0 {
+		t.Fatalf("heap corrupt after concurrent-collect run: %v", errs[0])
+	}
+	for c, n := range collectorDone {
+		if n != collects {
+			t.Fatalf("collector %d completed %d/%d collections", c, n, collects)
+		}
+	}
+	if n := rt.Stats().GC.ZoneCollections; n < 2*collects {
+		t.Fatalf("only %d zone collections recorded, want >= %d", n, 2*collects)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkRemsetBarrier measures the cross-zone write-barrier slow path:
+// reference stores whose source and target live in different zones, which
+// must maintain the per-zone remembered sets (remset.go). Three shapes:
+//
+//   - churn: every store replaces one cross-zone reference with another
+//     (delete + insert per store — the steady state of a mutator updating
+//     cross-zone links in place).
+//   - insert: stores into previously-nil slots (insert only), then the set
+//     is dropped wholesale by nulling (delete only).
+//   - mixed: half the stores are zone-local (barrier taken, no entry
+//     traffic) and half cross-zone, approximating the pseudojbb shard shape.
+//
+// Run with -benchmem: the map-backed remembered set allocates on insert;
+// the open-addressed table amortizes to zero per-store allocations.
+func BenchmarkRemsetBarrier(b *testing.B) {
+	const zones = 4
+	const objsPerZone = 512
+
+	setup := func(b *testing.B) (*Runtime, *Thread, Ref, []Ref, []Ref) {
+		b.Helper()
+		rt := New(Config{HeapWords: 1 << 18, Zones: zones, Mode: Infrastructure})
+		th := rt.MainThread()
+		// Hub array in zone 0; populations in zones 1 and 2.
+		hub := th.NewRefArray(objsPerZone)
+		g := rt.AddGlobal("hub")
+		g.Set(hub)
+		fill := func(zi int) []Ref {
+			th.SetZone(rt.Zone(zi))
+			keep := rt.AddGlobal(fmt.Sprintf("keep%d", zi))
+			anchor := th.NewRefArray(objsPerZone)
+			keep.Set(anchor)
+			out := make([]Ref, objsPerZone)
+			for i := range out {
+				out[i] = th.NewDataArray(2)
+				rt.ArrSetRef(anchor, i, out[i])
+			}
+			return out
+		}
+		z1 := fill(1)
+		z2 := fill(2)
+		th.SetZone(rt.Zone(0))
+		return rt, th, hub, z1, z2
+	}
+
+	b.Run("churn", func(b *testing.B) {
+		rt, _, hub, z1, z2 := setup(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			slot := i % objsPerZone
+			if i&1 == 0 {
+				rt.ArrSetRef(hub, slot, z1[slot])
+			} else {
+				rt.ArrSetRef(hub, slot, z2[slot])
+			}
+		}
+	})
+
+	b.Run("insert", func(b *testing.B) {
+		rt, _, hub, z1, _ := setup(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			slot := i % objsPerZone
+			rt.ArrSetRef(hub, slot, z1[slot])
+			if slot == objsPerZone-1 {
+				for j := 0; j < objsPerZone; j++ {
+					rt.ArrSetRef(hub, j, Nil)
+				}
+			}
+		}
+	})
+
+	b.Run("mixed", func(b *testing.B) {
+		rt, th, hub, z1, _ := setup(b)
+		local := make([]Ref, objsPerZone)
+		keep := rt.AddGlobal("local")
+		anchor := th.NewRefArray(objsPerZone)
+		keep.Set(anchor)
+		for i := range local {
+			local[i] = th.NewDataArray(2)
+			rt.ArrSetRef(anchor, i, local[i])
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			slot := i % objsPerZone
+			if i&1 == 0 {
+				rt.ArrSetRef(hub, slot, local[slot])
+			} else {
+				rt.ArrSetRef(hub, slot, z1[slot])
+			}
+		}
+	})
+}

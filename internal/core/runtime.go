@@ -167,6 +167,17 @@ type Config struct {
 	// all published figures use it) or at least vmheap.MinBufferWords, and
 	// smaller than the heap.
 	AllocBuffers int
+	// ZoneGCWorkers > 0 lets the concurrent pacer (Config.ConcurrentGC)
+	// collect individual zones in the background: when a zone's occupancy
+	// crosses the trigger fraction of its capacity and the zone has grown
+	// since it was last collected, a worker collects just that zone — with
+	// only that zone's lock held, so mutators in other zones (and up to
+	// ZoneGCWorkers-1 other zone collections) proceed concurrently. The
+	// whole-heap trigger remains as a backstop for cross-zone garbage.
+	// Requires Zones >= 2 and ZoneGCWorkers <= Zones; 0 (the default) keeps
+	// pacing whole-heap. Explicit GCZonesConcurrent rotations choose their
+	// worker count per call and do not require this field.
+	ZoneGCWorkers int
 	// Telemetry, when non-nil, attaches an event recorder to the runtime:
 	// the collector, tracer, sweeper, and allocator emit phase spans,
 	// pauses, buffer carve/retire events, and assertion violations into a
@@ -178,8 +189,50 @@ type Config struct {
 }
 
 // Runtime is a managed heap plus its collector and assertion engine.
+//
+// Lock order (outermost first): zone locks in ascending index order, then
+// rt.mu, then a thread's buffer spinlock (bufMu), then the engine guard
+// (assertions.Engine.Guard), then a remembered-set table lock (remtab.mu).
+// The world lock is all zone locks plus rt.mu; on an unzoned runtime it is
+// rt.mu alone and every path below reduces to the classic single-lock
+// runtime.
+//
+// On a zoned runtime, mutator accessors (fields.go, the allocation slow
+// path) hold the zone locks of the objects they touch instead of rt.mu —
+// that is what lets a zone collection run concurrently with mutators in
+// other zones — plus rt.mu when the runtime also runs whole-heap
+// incremental or pacer cycles (zonedMu), whose collector state and barriers
+// are rt.mu-guarded. Whole-heap operations (GC, heap walks, assertion
+// registration, class definition) take the world lock: with mutators no
+// longer serialized by rt.mu, only holding every zone lock excludes them
+// all. Root structures (globals, frames, pins) stay under rt.mu — a zone
+// collection's root scan runs in its rt.mu-held setup phase.
 type Runtime struct {
 	mu sync.Mutex
+
+	// zlocks has one mutex per zone (nil on an unzoned runtime). A zone's
+	// lock is held, without rt.mu, for the drain and sweep of that zone's
+	// collection — the concurrent phase — and by mutator accessors for the
+	// zones of every object they read or write.
+	zlocks []sync.Mutex
+
+	// zonedMu: mutator accessors must take rt.mu in addition to zone locks
+	// (zoned runtimes with incremental or pacer cycles; see the type doc).
+	zonedMu bool
+
+	// zoneGC counts in-flight concurrent zone collections and
+	// zoneCollecting flags each zone's. Guarded by rt.mu. While zoneGC > 0
+	// the pacer starts no whole-heap cycle and reads no cross-zone heap
+	// aggregate (an in-flight zone sweep mutates its zone's counters with
+	// only the zone lock held); whole-heap entry points need no check —
+	// they hold the world lock, which blocks on each collection's zone
+	// lock.
+	zoneGC         int
+	zoneCollecting []bool
+
+	// zoneGCWorkers caps the pacer's simultaneous zone collections
+	// (Config.ZoneGCWorkers; immutable after New).
+	zoneGCWorkers int
 
 	heap      *vmheap.Heap
 	reg       *classes.Registry
@@ -215,8 +268,22 @@ type Runtime struct {
 	// collection scheduler (nil otherwise — the field is immutable after
 	// New, so the nil check needs no lock), and pinned holds the
 	// hidden-register roots collectPins gathers before each root scan.
+	// pinsOn (immutable after New) statically activates the pin ring when
+	// the background pacer exists: its goroutine can complete a cycle — or
+	// dispatch a concurrent zone collection — at any moment, including
+	// between a mutator's allocation and the store publishing it. Every
+	// other collection is driven by some mutator goroutine, so on a
+	// single-thread runtime the ring stays off and reclamation stays
+	// precise (an explicit GC between an allocation and its publishing
+	// store discards the allocation — the documented root-it-first
+	// contract). The moment a second mutator thread exists the same window
+	// opens without any pacer — one goroutine can drive GC/GCStep/
+	// Zone.Collect to completion inside another's allocate-to-publish
+	// window — so the ring is also live whenever multiMutator is set (see
+	// pinsActive).
 	pacer  *gcPacer
 	pinned pinnedRoots
+	pinsOn bool
 
 	// multiMutator is false until NewThread first runs and true forever
 	// after. While false the runtime has exactly one mutator thread, owned
@@ -230,8 +297,49 @@ type Runtime struct {
 	multiMutator atomic.Bool
 }
 
+// pinsActive reports whether allocations must be noted in the pin ring:
+// statically (pinsOn — concurrent or zoned runtimes) or dynamically, once
+// a second mutator thread exists and any goroutine can complete a
+// collection while another holds a just-allocated, not-yet-published Ref.
+func (rt *Runtime) pinsActive() bool { return rt.pinsOn || rt.multiMutator.Load() }
+
 // rootSource returns the aggregated root set (globals plus thread stacks).
 func (rt *Runtime) rootSource() roots.Source { return rt.rootSrc }
+
+// lockWorld acquires every zone lock in ascending order, then rt.mu:
+// exclusive access to the entire runtime. On an unzoned runtime it is
+// exactly rt.mu.
+func (rt *Runtime) lockWorld() {
+	for i := range rt.zlocks {
+		rt.zlocks[i].Lock()
+	}
+	rt.mu.Lock()
+}
+
+// unlockWorld releases the world lock.
+func (rt *Runtime) unlockWorld() {
+	rt.mu.Unlock()
+	for i := range rt.zlocks {
+		rt.zlocks[i].Unlock()
+	}
+}
+
+// lockObjZone locks the zone containing r (mutator accessor prologue),
+// plus rt.mu when zonedMu requires it. A no-op returning false on an
+// unzoned runtime — the caller then uses plain rt.mu.
+func (rt *Runtime) lockObjZone(r Ref) {
+	rt.zlocks[rt.heap.ZoneIndexOf(r)].Lock()
+	if rt.zonedMu {
+		rt.mu.Lock()
+	}
+}
+
+func (rt *Runtime) unlockObjZone(r Ref) {
+	if rt.zonedMu {
+		rt.mu.Unlock()
+	}
+	rt.zlocks[rt.heap.ZoneIndexOf(r)].Unlock()
+}
 
 // New creates a runtime with the given configuration.
 func New(cfg Config) *Runtime {
@@ -283,6 +391,20 @@ func New(cfg Config) *Runtime {
 	if cfg.Zones >= 2 && cfg.Collector != MarkSweep {
 		panic("core: Zones requires the MarkSweep collector (the generational nursery policy is whole-heap)")
 	}
+	if cfg.ZoneGCWorkers < 0 {
+		panic("core: ZoneGCWorkers must not be negative")
+	}
+	if cfg.ZoneGCWorkers > 0 {
+		if cfg.Zones < 2 {
+			panic("core: ZoneGCWorkers requires Zones >= 2")
+		}
+		if cfg.ZoneGCWorkers > cfg.Zones {
+			panic(fmt.Sprintf("core: ZoneGCWorkers %d exceeds Zones %d", cfg.ZoneGCWorkers, cfg.Zones))
+		}
+		if !cfg.ConcurrentGC {
+			panic("core: ZoneGCWorkers requires ConcurrentGC (it sizes the pacer's zone-collection workers)")
+		}
+	}
 	rt := &Runtime{
 		reg:      classes.NewRegistry(),
 		threads:  threads.NewSet(),
@@ -295,6 +417,10 @@ func New(cfg Config) *Runtime {
 		rt.heap = rt.zoneHeaps[0]
 		rt.remsets = newRemsets(rt.heap)
 		rt.zones = make([]*Zone, cfg.Zones)
+		rt.zlocks = make([]sync.Mutex, cfg.Zones)
+		rt.zoneCollecting = make([]bool, cfg.Zones)
+		rt.zonedMu = cfg.IncrementalBudget > 0 || cfg.ConcurrentGC
+		rt.zoneGCWorkers = cfg.ZoneGCWorkers
 		for i, zh := range rt.zoneHeaps {
 			rt.zones[i] = &Zone{rt: rt, idx: i, h: zh}
 			zh.SetFreeObserver(rt.remsets.onFree)
@@ -355,9 +481,14 @@ func New(cfg Config) *Runtime {
 		p.SetTelemetry(rt.tele)
 	}
 	rt.collector.SetTelemetry(rt.tele)
+	// Hidden-register pins become roots at every root scan, and pin stamps
+	// taken during an incremental cycle are re-certified before its
+	// completion sweep (collectPins is a no-op until pins are active).
+	rt.collector.SetPrepareRoots(rt.collectPins)
 	rt.collector.Stats().RecordPauses = cfg.RecordPauses
 	rt.allocBufWords = uint32(cfg.AllocBuffers)
 	rt.incremental = cfg.IncrementalBudget > 0
+	rt.pinsOn = cfg.ConcurrentGC
 
 	rt.main = &Thread{rt: rt, th: rt.threads.New("main"), zheap: rt.heap}
 	rt.allThreads = append(rt.allThreads, rt.main)
@@ -386,23 +517,29 @@ func (rt *Runtime) flushAllocBuffers() {
 	}
 }
 
-// DefineClass registers a new class with the given fields.
+// DefineClass registers a new class with the given fields. World lock: the
+// registry is read lock-free by in-flight concurrent zone traces.
 func (rt *Runtime) DefineClass(name string, fields ...Field) *Class {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	return rt.reg.MustDefine(name, nil, fields...)
 }
 
 // DefineSubclass registers a class extending super; inherited fields keep
 // their offsets.
 func (rt *Runtime) DefineSubclass(name string, super *Class, fields ...Field) *Class {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	return rt.reg.MustDefine(name, super, fields...)
 }
 
 // ClassOf returns the class of the object at r.
 func (rt *Runtime) ClassOf(r Ref) *Class {
+	if rt.zlocks != nil {
+		rt.lockObjZone(r)
+		defer rt.unlockObjZone(r)
+		return rt.reg.ByID(rt.heap.ClassID(r))
+	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.reg.ByID(rt.heap.ClassID(r))
@@ -422,7 +559,19 @@ func (rt *Runtime) NewThread(name string) *Thread {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.multiMutator.Store(true)
-	t := &Thread{rt: rt, th: rt.threads.New(name), zheap: rt.heap}
+	var th *threads.Thread
+	if rt.engine != nil {
+		// The engine iterates the thread set in PreSweep with only its own
+		// guard held (concurrent zone collections run it without rt.mu), so
+		// the append must serialize on that guard too.
+		g := rt.engine.Guard()
+		g.Lock()
+		th = rt.threads.New(name)
+		g.Unlock()
+	} else {
+		th = rt.threads.New(name)
+	}
+	t := &Thread{rt: rt, th: th, zheap: rt.heap}
 	rt.allThreads = append(rt.allThreads, t)
 	return t
 }
@@ -457,8 +606,8 @@ func (g *Global) Set(r Ref) {
 // GC forces a full-heap collection (the kind that checks assertions). It
 // returns a *report.HaltError if a violation handler requested Halt.
 func (rt *Runtime) GC() error {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	if err := rt.settlePacerCycleLocked(); err != nil {
 		return err
 	}
@@ -473,8 +622,8 @@ func (rt *Runtime) GC() error {
 // generational collector this may be a minor collection, which checks no
 // assertions).
 func (rt *Runtime) Collect() error {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	if err := rt.settlePacerCycleLocked(); err != nil {
 		return err
 	}
@@ -492,8 +641,8 @@ func (rt *Runtime) Collect() error {
 // cycle. With IncrementalBudget == 0 it is equivalent to GC: one
 // stop-the-world full collection. A no-op if a cycle is already active.
 func (rt *Runtime) StartGC() error {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	if err := rt.settlePacerCycleLocked(); err != nil {
 		return err
 	}
@@ -509,8 +658,8 @@ func (rt *Runtime) StartGC() error {
 // marking finishes. It reports whether the cycle is complete; with no
 // active cycle it reports true immediately.
 func (rt *Runtime) GCStep() (done bool, err error) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	// A step that drains the worklist sweeps; under the pacer that must go
 	// through its ledger, so settle the whole cycle instead of stepping it
 	// behind the pacer's back.
@@ -527,8 +676,8 @@ func (rt *Runtime) GCStep() (done bool, err error) {
 // tax). A no-op returning nil when no cycle is active and nothing is
 // stashed.
 func (rt *Runtime) FinishGC() error {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	if err := rt.settlePacerCycleLocked(); err != nil {
 		return err
 	}
@@ -548,23 +697,23 @@ func (rt *Runtime) GCActive() bool {
 // hook calls, free-list installs — runs exactly as the allocator would have
 // triggered it, just all at once.
 func (rt *Runtime) CompleteSweep() {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	rt.heap.CompleteSweep()
 }
 
 // SweepPending reports whether a lazy sweep has unswept segments
 // outstanding.
 func (rt *Runtime) SweepPending() bool {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	return rt.heap.SweepPending()
 }
 
 // Violations returns the assertion violations recorded so far.
 func (rt *Runtime) Violations() []*report.Violation {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	out := make([]*report.Violation, len(rt.recorder.Violations))
 	copy(out, rt.recorder.Violations)
 	return out
@@ -572,8 +721,8 @@ func (rt *Runtime) Violations() []*report.Violation {
 
 // ResetViolations clears the recorded violations.
 func (rt *Runtime) ResetViolations() {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	rt.recorder.Reset()
 }
 

@@ -40,8 +40,8 @@ type Snapshot struct {
 // Stats returns a consistent snapshot of heap, collector and assertion
 // statistics.
 func (rt *Runtime) Stats() Snapshot {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	s := Snapshot{
 		Heap: HeapStats{
 			CapacityWords: rt.heap.CapacityWords(),
@@ -89,8 +89,8 @@ func (rt *Runtime) Stats() Snapshot {
 // built-in array pseudo-classes, in definition order (IDs are dense and
 // equal the slice index). Intended for tools such as heap snapshots.
 func (rt *Runtime) Classes() []*Class {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	out := make([]*Class, rt.reg.NumClasses())
 	for i := range out {
 		out[i] = rt.reg.ByID(uint32(i))
@@ -100,24 +100,24 @@ func (rt *Runtime) Classes() []*Class {
 
 // EachGlobal reports every global root slot (name and current reference).
 func (rt *Runtime) EachGlobal(fn func(name string, r Ref)) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	rt.globals.Each(fn)
 }
 
 // KindOf reports the layout kind of the object at r: 0 scalar, 1 reference
 // array, 2 data array (tool-grade accessor for snapshot/census code).
 func (rt *Runtime) KindOf(r Ref) int {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	return int(rt.heap.KindOf(r))
 }
 
 // Objects walks every allocated object, reporting its Ref. Like
 // EachObject, this is a tool-grade full heap walk.
 func (rt *Runtime) Objects(fn func(r Ref)) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	rt.flushAllocBuffers()
 	rt.heap.Iterate(func(r Ref, _ uint64) { fn(r) })
 }
@@ -125,8 +125,8 @@ func (rt *Runtime) Objects(fn func(r Ref)) {
 // SizeOf returns the total size in words (header included) of the object
 // at r.
 func (rt *Runtime) SizeOf(r Ref) int {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	return int(rt.heap.SizeWords(r))
 }
 
@@ -134,8 +134,8 @@ func (rt *Runtime) SizeOf(r Ref) int {
 // objects) or elements (reference arrays). Intended for tools (heap
 // visualization, censuses), not hot paths.
 func (rt *Runtime) OutEdges(obj Ref) []Ref {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	if !rt.heap.IsObject(obj) {
 		return nil
 	}
@@ -162,8 +162,8 @@ func (rt *Runtime) OutEdges(obj Ref) []Ref {
 // must be called between collections, not during one. Expensive; intended
 // for tests and debugging tools.
 func (rt *Runtime) VerifyHeap() []error {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	rt.flushAllocBuffers()
 	return rt.heap.Verify(rt.reg)
 }
@@ -173,8 +173,8 @@ func (rt *Runtime) VerifyHeap() []error {
 // tools wanting a live census run GC first. Intended for tools, not hot
 // paths.
 func (rt *Runtime) EachObject(fn func(class string, sizeWords uint32)) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	rt.flushAllocBuffers()
 	rt.heap.Iterate(func(r Ref, _ uint64) {
 		fn(rt.reg.Name(rt.heap.ClassID(r)), rt.heap.SizeWords(r))
@@ -186,8 +186,8 @@ func (rt *Runtime) EachObject(fn func(class string, sizeWords uint32)) {
 // wanting live counts run GC first. Intended for tools and tests, not hot
 // paths (it is a full heap walk).
 func (rt *Runtime) AllocatedInstanceCount(c *Class) int {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	rt.flushAllocBuffers()
 	n := 0
 	rt.heap.Iterate(func(r Ref, _ uint64) {

@@ -11,8 +11,13 @@ func (t *Thread) NewString(s string) Ref {
 	words := 1 + (len(s)+7)/8
 	arr := t.NewDataArray(words)
 	rt := t.rt
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	if rt.zlocks != nil {
+		rt.lockObjZone(arr)
+		defer rt.unlockObjZone(arr)
+	} else {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+	}
 	rt.heap.SetArrayWord(arr, 0, uint64(len(s)))
 	for i := 0; i < len(s); i++ {
 		w := uint32(1 + i/8)
@@ -25,8 +30,13 @@ func (t *Thread) NewString(s string) Ref {
 
 // StringAt decodes the managed string at r.
 func (rt *Runtime) StringAt(r Ref) string {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	if rt.zlocks != nil {
+		rt.lockObjZone(r)
+		defer rt.unlockObjZone(r)
+	} else {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+	}
 	n := int(rt.heap.ArrayWord(r, 0))
 	b := make([]byte, n)
 	for i := 0; i < n; i++ {
@@ -40,7 +50,12 @@ func (rt *Runtime) StringAt(r Ref) string {
 // StringLen returns the byte length of the managed string at r without
 // decoding it.
 func (rt *Runtime) StringLen(r Ref) int {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	if rt.zlocks != nil {
+		rt.lockObjZone(r)
+		defer rt.unlockObjZone(r)
+	} else {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+	}
 	return int(rt.heap.ArrayWord(r, 0))
 }

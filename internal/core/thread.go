@@ -112,6 +112,19 @@ func (t *Thread) PopFrame() {
 	t.rt.mu.Lock()
 	defer t.rt.mu.Unlock()
 	t.th.PopFrame()
+	if t.th.Depth() == 0 {
+		// The thread's last frame is gone: no caller remains to receive a
+		// Ref held in a Go variable, so the hidden-register pins covering
+		// this thread's recent unpublished allocations are dead. Dropping
+		// them here keeps pin retention from leaking past a thread's
+		// working life (a quiescent thread's ring would otherwise hold its
+		// last allocations live forever).
+		t.lockBuf()
+		for i := range t.pins {
+			t.pins[i] = allocPin{}
+		}
+		t.unlockBuf()
+	}
 }
 
 // Local returns the reference in slot i.
@@ -183,7 +196,7 @@ func (t *Thread) alloc(kind vmheap.Kind, classID uint32, n uint32) (Ref, error) 
 		} else {
 			t.lockBuf()
 			r, ok := t.buf.Alloc(kind, classID, n)
-			if ok && rt.pacer != nil {
+			if ok && rt.pinsActive() {
 				t.notePin(r)
 			}
 			t.unlockBuf()
@@ -200,6 +213,9 @@ func (t *Thread) alloc(kind vmheap.Kind, classID uint32, n uint32) (Ref, error) 
 // lists, collecting (then collecting fully) on exhaustion; record the
 // object in any active region bracket on this thread.
 func (t *Thread) allocSlow(kind vmheap.Kind, classID uint32, n uint32) (Ref, error) {
+	if t.rt.zlocks != nil {
+		return t.allocSlowZoned(kind, classID, n)
+	}
 	rt := t.rt
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -212,7 +228,7 @@ func (t *Thread) allocSlow(kind vmheap.Kind, classID uint32, n uint32) (Ref, err
 		if err := rt.takePacerPending(); err != nil {
 			return Nil, err
 		}
-		rt.pacer.allocPacingLocked(uint64(vmheap.ObjectWords(kind, n)) + uint64(rt.allocBufWords))
+		rt.pacer.allocPacingLocked(0, uint64(vmheap.ObjectWords(kind, n))+uint64(rt.allocBufWords))
 		defer rt.pacer.maybeWake()
 	}
 
@@ -266,7 +282,7 @@ func (t *Thread) allocSlow(kind vmheap.Kind, classID uint32, n uint32) (Ref, err
 	}
 	t.th.CountAlloc()
 
-	if rt.pacer != nil {
+	if rt.pinsActive() {
 		t.notePin(r)
 	}
 
@@ -283,12 +299,150 @@ func (t *Thread) allocSlow(kind vmheap.Kind, classID uint32, n uint32) (Ref, err
 	return r, nil
 }
 
+// allocSlowZoned is the slow path on a zone-sharded runtime. It runs under
+// the allocating zone's lock (plus rt.mu when whole-heap cycles require it —
+// Runtime.zonedMu), so threads parked in different zones refill and allocate
+// concurrently, and an allocation here never blocks on another zone's
+// in-flight collection. Heap exhaustion is the one escalation point: the
+// zone-level locks are released and the collection (plus the retry) runs
+// under the world lock.
+func (t *Thread) allocSlowZoned(kind vmheap.Kind, classID uint32, n uint32) (Ref, error) {
+	rt := t.rt
+	zh := t.zheap // owning goroutine; cannot race its own SetZone
+	zi := zh.ZoneID()
+	rt.zlocks[zi].Lock()
+	if rt.zonedMu {
+		rt.mu.Lock()
+	}
+	unlock := func() {
+		if rt.zonedMu {
+			rt.mu.Unlock()
+		}
+		rt.zlocks[zi].Unlock()
+	}
+
+	if rt.pacer != nil {
+		// zonedMu is always true under the pacer, so rt.mu is held here.
+		if err := rt.takePacerPending(); err != nil {
+			unlock()
+			return Nil, err
+		}
+		rt.pacer.allocPacingLocked(zi, uint64(vmheap.ObjectWords(kind, n))+uint64(rt.allocBufWords))
+		defer rt.pacer.maybeWake()
+	}
+
+	if rt.allocBufWords > 0 {
+		if r, ok := t.refillAlloc(kind, classID, n); ok {
+			unlock()
+			return r, nil
+		}
+	}
+
+	r, err := zh.Alloc(kind, classID, n)
+	if err == vmheap.ErrHeapExhausted {
+		// The zone is full. Collecting — even flushing other zones' buffers —
+		// needs the whole heap quiescent, so trade the zone-level locks for
+		// the world lock (all zone locks ascending, then rt.mu) and retry
+		// there. This also drains any in-flight concurrent zone collections:
+		// they hold their zone locks until they fold their results.
+		unlock()
+		rt.lockWorld()
+		if rt.allocBufWords > 0 {
+			rt.flushAllocBuffers()
+			r, err = zh.Alloc(kind, classID, n)
+		}
+		if err == vmheap.ErrHeapExhausted {
+			rt.collectPins()
+			if cerr := rt.collector.Collect(); cerr != nil {
+				rt.unlockWorld()
+				return Nil, cerr
+			}
+			r, err = zh.Alloc(kind, classID, n)
+			if err == vmheap.ErrHeapExhausted {
+				if cerr := rt.collector.CollectFull(); cerr != nil {
+					rt.unlockWorld()
+					return Nil, cerr
+				}
+				r, err = zh.Alloc(kind, classID, n)
+			}
+		}
+		if err != nil {
+			oom := &OutOfMemoryError{
+				RequestWords: n,
+				LiveWords:    rt.heap.LiveWords(),
+				HeapWords:    rt.heap.CapacityWords(),
+			}
+			rt.unlockWorld()
+			return Nil, oom
+		}
+		t.recordSlowAlloc(r)
+		if rt.incremental && rt.pacer == nil {
+			rt.flushAllocBuffers()
+		}
+		rt.collector.DidAllocate(r)
+		rt.unlockWorld()
+		return r, nil
+	}
+	if err != nil {
+		// Non-exhaustion failure (argument the heap declined); report it the
+		// way the unzoned path does.
+		oom := &OutOfMemoryError{
+			RequestWords: n,
+			LiveWords:    rt.heap.LiveWords(),
+			HeapWords:    rt.heap.CapacityWords(),
+		}
+		unlock()
+		return Nil, oom
+	}
+
+	t.recordSlowAlloc(r)
+	// The incremental hooks touch whole-heap collector state and read
+	// cross-zone aggregates; they require rt.mu (held — incremental implies
+	// zonedMu) and must stand down while a concurrent zone collection is
+	// mutating its zone's counters under only its zone lock. Skipping is
+	// sound: the hooks only trigger or advance cycles, and the next slow
+	// allocation after the zone collections fold re-runs them.
+	if rt.incremental && rt.pacer == nil && rt.zoneGC == 0 {
+		rt.flushAllocBuffers()
+		rt.collector.DidAllocate(r)
+	} else if rt.incremental && rt.pacer != nil {
+		rt.collector.DidAllocate(r)
+	}
+	unlock()
+	return r, nil
+}
+
+// recordSlowAlloc is the bookkeeping shared by the zoned slow-path exits:
+// region recording (under the engine guard — a concurrent zone collection's
+// PreSweep walks region queues under it), the thread's allocation count
+// (under the buffer spinlock — the stats fold reads it there), and the pin
+// ring. Caller holds at least t's zone lock, plus rt.mu in zonedMu
+// configurations (the pacer, hence notePin, implies zonedMu).
+func (t *Thread) recordSlowAlloc(r Ref) {
+	rt := t.rt
+	if rt.engine != nil {
+		g := rt.engine.Guard()
+		g.Lock()
+		if t.th.InRegion() {
+			t.th.RecordRegionAlloc(r)
+		}
+		g.Unlock()
+	}
+	t.lockBuf()
+	t.th.CountAlloc()
+	if rt.pinsActive() {
+		t.notePin(r) // under bufMu: collectPins may run without this
+		// goroutine holding rt.mu in serial zoned mode
+	}
+	t.unlockBuf()
+}
+
 // refillAlloc retires the thread's exhausted buffer, carves a fresh one,
 // and satisfies the allocation from it. ok=false sends the caller to the
 // direct path: for objects too large for a buffer, while an incremental
 // cycle is active (allocate-black and the mark tax are per-object), or
 // when the free lists cannot supply even a minimal buffer. Caller holds
-// rt.mu.
+// rt.mu (unzoned), or the thread's zone lock plus rt.mu if zonedMu (zoned).
 func (t *Thread) refillAlloc(kind vmheap.Kind, classID uint32, n uint32) (Ref, bool) {
 	rt := t.rt
 	need := vmheap.ObjectWords(kind, n)
@@ -310,10 +464,15 @@ func (t *Thread) refillAlloc(kind vmheap.Kind, classID uint32, n uint32) (Ref, b
 		if rt.collector.IncrementalActive() {
 			return Nil, false
 		}
-		rt.flushAllocBuffers()
-		rt.collector.DidRefill()
-		if rt.collector.IncrementalActive() {
-			return Nil, false
+		if rt.zoneGC == 0 {
+			// The trigger check reads whole-heap aggregates and retires
+			// every thread's buffer; both need the heap quiescent at the
+			// zone level (zoneGC is 0 forever on an unzoned runtime).
+			rt.flushAllocBuffers()
+			rt.collector.DidRefill()
+			if rt.collector.IncrementalActive() {
+				return Nil, false
+			}
 		}
 	}
 	if !t.zheap.CarveBuffer(&t.buf, need, rt.allocBufWords) {
@@ -335,8 +494,10 @@ func (t *Thread) refillAlloc(kind vmheap.Kind, classID uint32, n uint32) (Ref, b
 	if !ok {
 		panic("core: fresh allocation buffer cannot satisfy its triggering allocation")
 	}
-	if rt.pacer != nil {
+	if rt.pinsActive() {
+		t.lockBuf()
 		t.notePin(r)
+		t.unlockBuf()
 	}
 	return r, ok
 }
@@ -362,13 +523,25 @@ func (t *Thread) flushBuffer() {
 // objects to its innermost region queue, in allocation order. Called at
 // buffer retirement and at region-bracket boundaries (StartRegion records
 // into the enclosing bracket before the new one opens; AssertAllDead
-// records before the bracket closes). Caller holds rt.mu.
+// records before the bracket closes). The queue append runs under the
+// engine guard: a concurrent zone collection's PreSweep walks every
+// thread's region queues under it. Without an engine there are no regions
+// (StartRegion refuses in Base mode), so InRegion is always false.
 func (t *Thread) flushRegionRecords() {
-	if !t.buf.Active() || !t.th.InRegion() {
+	if !t.buf.Active() {
 		return
 	}
-	t.buf.EachObjectFrom(t.regionFrom, t.th.RecordRegionAlloc)
-	t.regionFrom = t.buf.Pos()
+	eng := t.rt.engine
+	if eng == nil {
+		return
+	}
+	g := eng.Guard()
+	g.Lock()
+	if t.th.InRegion() {
+		t.buf.EachObjectFrom(t.regionFrom, t.th.RecordRegionAlloc)
+		t.regionFrom = t.buf.Pos()
+	}
+	g.Unlock()
 }
 
 // Allocs returns the number of allocations this thread performed,

@@ -66,10 +66,13 @@ func zoneDiffModes() []zoneMode {
 
 // zoneDiffWorld wraps diffWorld with a zone-aware op dispatch: op codes
 // below 8 rebind the mutator thread to a zone (a no-op in the unzoned
-// world), and explicit collections go through GCZones when rotate is set.
+// world), and explicit collections go through GCZones when rotate is set —
+// or through GCZonesConcurrent when workers > 0 (the parallel-rotation
+// differential, parzonediff_test.go).
 type zoneDiffWorld struct {
 	*diffWorld
-	rotate bool
+	rotate  bool
+	workers int
 }
 
 func newZoneDiffWorld(cfg Config, zones int, rotate bool) *zoneDiffWorld {
@@ -80,9 +83,12 @@ func newZoneDiffWorld(cfg Config, zones int, rotate bool) *zoneDiffWorld {
 func (w *zoneDiffWorld) collect(t *testing.T) {
 	t.Helper()
 	var err error
-	if w.rotate {
+	switch {
+	case w.workers > 0:
+		err = w.rt.GCZonesConcurrent(w.workers)
+	case w.rotate:
 		err = w.rt.GCZones()
-	} else {
+	default:
 		err = w.rt.GC()
 	}
 	if err != nil {

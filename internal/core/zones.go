@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/gc"
 	"repro/internal/report"
@@ -63,10 +64,18 @@ func (t *Thread) SetZone(z *Zone) {
 	if z.rt != t.rt {
 		panic("core: SetZone with a zone of a different runtime")
 	}
-	t.rt.mu.Lock()
-	defer t.rt.mu.Unlock()
+	rt := t.rt
+	// Retiring the buffer returns its tail to the OLD zone's free lists, so
+	// the old zone's lock must be held (its collection could otherwise be
+	// sweeping those lists); rt.mu orders the zheap write against the
+	// cross-thread readers (flushAllocBuffers, the stats fold).
+	zi := t.zheap.ZoneID() // owning goroutine; stable without a lock
+	rt.zlocks[zi].Lock()
+	rt.mu.Lock()
 	t.flushBuffer()
 	t.zheap = z.h
+	rt.mu.Unlock()
+	rt.zlocks[zi].Unlock()
 }
 
 // ZoneIndex returns the index of the zone this thread allocates from.
@@ -77,7 +86,8 @@ func (t *Thread) ZoneIndex() int { // reads t.zheap: owner goroutine or rt.mu
 // prepareZoneOpLocked settles collection machinery that spans zones before
 // a zone-local operation: a pacer-owned cycle and any in-flight incremental
 // cycle are completed (both are whole-heap by construction — their snapshot
-// predates the zone operation). Caller holds rt.mu.
+// predates the zone operation). Caller holds the world lock on a zoned
+// runtime (FinishFull parses the whole arena), rt.mu otherwise.
 func (rt *Runtime) prepareZoneOpLocked() error {
 	if err := rt.settlePacerCycleLocked(); err != nil {
 		return err
@@ -91,10 +101,12 @@ func (rt *Runtime) prepareZoneOpLocked() error {
 	return nil
 }
 
-// collectZoneLocked runs one zone collection: this zone's buffers retired
-// (other zones' stay live — the pause-isolation property), pins collected,
-// remembered set validated and handed to the collector as extra roots.
-// Caller holds rt.mu and has settled pacer/incremental state.
+// collectZoneLocked runs one serialized zone collection: this zone's
+// buffers retired (other zones' stay live — the pause-isolation property),
+// pins collected, remembered set validated precisely and handed to the
+// collector as extra roots. Caller holds the world lock and has settled
+// pacer/incremental state; GCZones uses it for the serialized-precise
+// rotation. Concurrent entry points use collectZoneConcurrent instead.
 func (rt *Runtime) collectZoneLocked(zi int) ([]int64, error) {
 	zh := rt.zoneHeaps[zi]
 	for _, t := range rt.allThreads {
@@ -117,24 +129,132 @@ func (rt *Runtime) collectZoneLocked(zi int) ([]int64, error) {
 // Collect runs a full mark/sweep of this zone only: the zone's reachable
 // objects (from roots and inbound cross-zone references) are marked, its
 // garbage swept, and every piggybacked assertion over its objects checked —
-// except instance limits, which only a full rotation (GCZones) can judge.
-// Threads allocating in other zones are not paused. Escalates to a
-// whole-heap collection while ownership assertions are registered. Returns
-// a *report.HaltError if a violation handler requested Halt.
+// except instance limits, which only a full rotation (GCZones /
+// GCZonesConcurrent) can judge. The collection holds only this zone's lock
+// for its mark and sweep, so threads in other zones keep allocating AND
+// other zones' collections run simultaneously with it; only the brief root
+// scan serializes on rt.mu. Escalates to a whole-heap collection while
+// ownership assertions are registered. Returns a *report.HaltError if a
+// violation handler requested Halt.
 func (z *Zone) Collect() error {
-	rt := z.rt
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	_, _, err := z.rt.collectZoneConcurrent(z.idx)
+	return err
+}
+
+// collectFullEscalated is the whole-heap fallback for zone entry points
+// that cannot run zone-locally (ownership assertions registered).
+func (rt *Runtime) collectFullEscalated() error {
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	if err := rt.prepareZoneOpLocked(); err != nil {
 		return err
 	}
-	if rt.engine != nil && rt.engine.HasOwnership() {
-		rt.flushAllocBuffers()
-		rt.collectPins()
-		return rt.collector.CollectFull()
+	rt.flushAllocBuffers()
+	rt.collectPins()
+	return rt.collector.CollectFull()
+}
+
+// collectZoneConcurrent runs one zone collection under the per-zone locking
+// protocol. It returns the zone's live instance counts folded into tracked
+// order (nil when the collection escalated), whether it escalated to a
+// whole-heap collection, and the collection's error.
+//
+// The claim: lock this zone, then rt.mu. Holding the zone lock FIRST means
+// whole-heap operations (GC, StartGC, Close, GCZones — all of which take
+// every zone lock ascending) simply block until this collection folds; they
+// can never observe a half-collected zone. The zoneGC counter taken under
+// rt.mu exists for the one whole-heap actor that does NOT take zone locks —
+// the pacer and the incremental allocation hooks, which run under rt.mu
+// alone and must neither start whole-heap cycles nor read cross-zone heap
+// aggregates while a zone's sweep is mutating its counters under only its
+// zone lock.
+//
+// The phases:
+//
+//	A (rt.mu):  this zone's buffers retired, pins collected, the inbound
+//	            remembered set resolved, roots + inbound slots scanned.
+//	            Mutators everywhere pause only for this scan.
+//	B (none):   transitive mark (drain) and sweep, holding only this zone's
+//	            lock — the concurrent bulk of the collection. Mutators
+//	            cannot acquire or sever references into this zone (a
+//	            reference store locks the zones of the old and new values),
+//	            and anything reachable from another zone was pre-marked via
+//	            the remembered set in phase A, so the snapshot cannot decay.
+//	C (rt.mu):  stats folded, the claim released.
+func (rt *Runtime) collectZoneConcurrent(zi int) ([]int64, bool, error) {
+	zh := rt.zoneHeaps[zi]
+	ms := rt.collector.(*gc.MarkSweep) // Config.Zones >= 2 forces MarkSweep
+	for {
+		rt.zlocks[zi].Lock()
+		rt.mu.Lock()
+		if rt.engine != nil {
+			g := rt.engine.Guard()
+			g.Lock()
+			own := rt.engine.HasOwnership()
+			g.Unlock()
+			if own {
+				// Ownership is a whole-heap property (owner regions span
+				// zones). Checked under the claim so a registration racing
+				// this collection cannot slip in after the decision.
+				rt.mu.Unlock()
+				rt.zlocks[zi].Unlock()
+				return nil, true, rt.collectFullEscalated()
+			}
+		}
+		if err := rt.takePacerPending(); err != nil {
+			rt.mu.Unlock()
+			rt.zlocks[zi].Unlock()
+			return nil, false, err
+		}
+		if !rt.collector.IncrementalActive() && (rt.pacer == nil || !rt.pacer.active) {
+			break
+		}
+		// A whole-heap cycle is in flight; its snapshot spans every zone, so
+		// it must complete before a zone collects alone. Settling needs the
+		// world lock, so release the claim, settle, and re-claim.
+		rt.mu.Unlock()
+		rt.zlocks[zi].Unlock()
+		rt.lockWorld()
+		err := rt.prepareZoneOpLocked()
+		rt.unlockWorld()
+		if err != nil {
+			return nil, false, err
+		}
 	}
-	_, err := rt.collectZoneLocked(z.idx)
-	return err
+	rt.zoneGC++
+	rt.zoneCollecting[zi] = true
+	rt.mu.Unlock()
+
+	// Phase A. The zone's threads' buffers are retired before BeginZone —
+	// its tracer reset asserts the zone has none outstanding — and no new
+	// one can be carved while this zone's lock is held.
+	rt.mu.Lock()
+	for _, t := range rt.allThreads {
+		if t.zheap == zh {
+			t.flushBuffer()
+		}
+	}
+	zc := ms.BeginZone(zh)
+	rt.collectPins()
+	targets, null := rt.remsets.resolve(zi)
+	zc.Scan(targets, null)
+	rt.mu.Unlock()
+
+	// Phase B.
+	out := zc.Finish()
+
+	// Phase C.
+	totals := rt.reg.FoldLocalCounts(out.Counts)
+	rt.mu.Lock()
+	ms.FoldZone(out)
+	rt.zoneGC--
+	rt.zoneCollecting[zi] = false
+	rt.mu.Unlock()
+	rt.zlocks[zi].Unlock()
+	if out.Halt != nil {
+		return totals, false, &report.HaltError{Violation: out.Halt}
+	}
+	return totals, false, nil
 }
 
 // GCZones collects every zone in turn — each zone-locally, without pausing
@@ -159,8 +279,8 @@ func (z *Zone) Collect() error {
 // live object is ever reclaimed, and no dead object survives a following
 // whole-heap cycle.
 func (rt *Runtime) GCZones() error {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	if err := rt.prepareZoneOpLocked(); err != nil {
 		return err
 	}
@@ -182,8 +302,78 @@ func (rt *Runtime) GCZones() error {
 		}
 	}
 	if rt.engine != nil {
-		rt.engine.CheckInstanceTotals(totals)
-		if v := rt.engine.Halted(); v != nil {
+		if v := rt.engine.CheckInstanceTotals(totals); v != nil {
+			return &report.HaltError{Violation: v}
+		}
+	}
+	return nil
+}
+
+// GCZonesConcurrent is GCZones with up to workers zones collected
+// simultaneously, each under the per-zone locking protocol (Zone.Collect):
+// while one zone's mark/sweep runs, other workers mark and sweep their
+// zones and mutators keep allocating everywhere but the zones' brief root
+// scans. Instance limits are judged on the summed per-zone counts after
+// the rotation, exactly as GCZones does — unless any zone escalated to a
+// whole-heap collection mid-rotation (ownership assertions appeared), whose
+// own whole-heap count check supersedes the partial sums.
+//
+// Precision: each worker resolves its zone's inbound remembered set
+// conservatively (a stale entry whose source died in a not-yet-swept zone
+// still roots its target for one extra rotation), so the rotation's
+// verdicts and frees match GCZones run from the same garbage-free start;
+// see the GCZones comment for the general bound. On an unzoned runtime it
+// is exactly GC().
+func (rt *Runtime) GCZonesConcurrent(workers int) error {
+	if rt.zones == nil {
+		return rt.GC()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(rt.zones) {
+		workers = len(rt.zones)
+	}
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		firstErr  error
+		escalated bool
+	)
+	totals := make([]int64, rt.reg.NumTracked())
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for zi := range work {
+				counts, esc, err := rt.collectZoneConcurrent(zi)
+				mu.Lock()
+				if esc {
+					escalated = true
+				}
+				for i, c := range counts {
+					if i < len(totals) {
+						totals[i] += c
+					}
+				}
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for zi := range rt.zoneHeaps {
+		work <- zi
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if rt.engine != nil && !escalated {
+		if v := rt.engine.CheckInstanceTotals(totals); v != nil {
 			return &report.HaltError{Violation: v}
 		}
 	}
@@ -205,8 +395,8 @@ func (rt *Runtime) GCZones() error {
 // so every zone's buffers are flushed first (otherwise only this zone's).
 func (z *Zone) Retire() (survivors int, err error) {
 	rt := z.rt
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	if err := rt.prepareZoneOpLocked(); err != nil {
 		return 0, err
 	}
@@ -289,8 +479,8 @@ func (z *Zone) Retire() (survivors int, err error) {
 // allocation buffers in a zone are counted from their carve, as the heap's
 // own accounting does.
 func (rt *Runtime) ZoneStats() []vmheap.ZoneInfo {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.lockWorld()
+	defer rt.unlockWorld()
 	if !rt.heap.Zoned() {
 		return nil
 	}

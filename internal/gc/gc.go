@@ -14,6 +14,7 @@
 package gc
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/assertions"
@@ -63,6 +64,7 @@ type Stats struct {
 	FullGCTime time.Duration
 
 	MarkedObjects uint64 // cumulative objects marked
+	MarkedWords   uint64 // cumulative words of marked objects (GC throughput numerator)
 	FreedObjects  uint64
 	FreedWords    uint64
 
@@ -154,6 +156,7 @@ func (s *Stats) addIncrementalWork(d time.Duration) {
 
 // addTrace folds one collection's trace counters into the totals.
 func (s *Stats) addTrace(t trace.Stats) {
+	s.MarkedWords += t.VisitedWords
 	s.Trace.Visited += t.Visited
 	s.Trace.RefsScanned += t.RefsScanned
 	s.Trace.DeadHits += t.DeadHits
@@ -197,6 +200,15 @@ type Collector interface {
 	// SetTelemetry attaches a telemetry recorder to the collector and its
 	// tracer; nil (the default) disables all emission.
 	SetTelemetry(rec *telemetry.Recorder)
+	// SetPrepareRoots installs a callback the collector invokes
+	// immediately before every whole-heap root scan and before every
+	// whole-heap completion sweep, under the same lock as the scan or
+	// sweep itself. The runtime uses it to gather hidden-register pins:
+	// the pre-scan call makes just-allocated, not-yet-published objects
+	// roots, and the pre-sweep call re-certifies pins taken during an
+	// incremental cycle before the sweep advances the heap's epoch and
+	// invalidates their stamps. Nil (the default) disables the hook.
+	SetPrepareRoots(fn func())
 
 	// Incremental driving (no-ops unless the collector was configured with
 	// an IncrementalBudget > 0). StartFull begins an incremental full
@@ -267,6 +279,16 @@ type MarkSweep struct {
 
 	inc incCycle
 
+	// prepareRoots, when non-nil, runs before every whole-heap root scan
+	// and completion sweep (see Collector.SetPrepareRoots).
+	prepareRoots func()
+
+	// Concurrent zone collection keeps one private tracer per zone so two
+	// zones can mark simultaneously. zmu guards only this lazily-built map
+	// (a leaf lock held for map access alone, never across a trace).
+	zmu         sync.Mutex
+	zoneTracers map[*vmheap.Heap]*trace.Tracer
+
 	// tele, when non-nil, receives cycle/pause events (the tracer and heap
 	// carry their own references for the phase spans).
 	tele *telemetry.Recorder
@@ -306,6 +328,7 @@ func (c *MarkSweep) WriteBarrier(vmheap.Ref) {}
 // incParts assembles the shared incremental driver over this collector.
 func (c *MarkSweep) incParts() incShared {
 	return incShared{
+		prepare:    c.prepareRoots,
 		heap:       c.heap,
 		tracer:     c.tracer,
 		engine:     c.engine,
@@ -319,6 +342,16 @@ func (c *MarkSweep) incParts() incShared {
 		finishSweep: func(clear uint64, onFree func(vmheap.Ref, uint64)) vmheap.SweepStats {
 			return c.heap.Sweep(vmheap.SweepOptions{ClearFlags: clear, OnFree: onFree})
 		},
+	}
+}
+
+// SetPrepareRoots implements Collector.
+func (c *MarkSweep) SetPrepareRoots(fn func()) { c.prepareRoots = fn }
+
+// prep runs the prepareRoots hook if one is installed.
+func (c *MarkSweep) prep() {
+	if c.prepareRoots != nil {
+		c.prepareRoots()
 	}
 }
 
@@ -414,6 +447,7 @@ func (c *MarkSweep) CollectFull() error {
 		return c.incParts().finish()
 	}
 	c.heap.AssertNoBuffers("full collection")
+	c.prep() // root scan and sweep share this pause; one gather covers both
 	c.tele.CycleBegin()
 	start := time.Now()
 	// A lazy sweep still pending from the previous cycle must finish before
@@ -552,4 +586,163 @@ func (c *MarkSweep) CollectZone(z *vmheap.Heap, slots []uint32, onSlotNulled fun
 		}
 	}
 	return counts, nil
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent zone collection (phased)
+//
+// The serialized CollectZone above runs whole collections back to back under
+// the runtime lock. The phased API below splits one zone collection into the
+// three pieces the runtime's per-zone locking needs so that several zones can
+// be collected simultaneously, overlapped with mutators in third zones:
+//
+//	zc := c.BeginZone(z)            // zone lock only
+//	zc.Scan(targets, null)          // zone lock + runtime lock (the pause)
+//	out := zc.Finish()              // zone lock only — drain and sweep
+//	c.FoldZone(out)                 // runtime lock — fold stats
+//
+// BeginZone/Finish touch only zone-local heap state plus the engine's own
+// lock (PreSweep, free hooks), so concurrent calls for different zones are
+// safe. Scan runs under the runtime lock: it snapshots the roots and the
+// pre-resolved remembered-set targets while mutators are excluded, which is
+// what makes the subsequent lock-free drain sound (every reference into the
+// zone a mutator could later hand over is already grey or protected by the
+// zone lock). FoldZone serializes the stats merge.
+
+// ZoneOutcome carries one concurrent zone collection's results from the
+// drain/sweep phase (zone lock only) to FoldZone (runtime lock).
+type ZoneOutcome struct {
+	Elapsed    time.Duration
+	SweepPause time.Duration // leftover lazy sweep + this sweep, for SweepPauseLog
+	Trace      trace.Stats
+	Sweep      vmheap.SweepStats
+	// Counts holds the tracer-local instance census for this zone, keyed by
+	// class ID (nil when nothing was counted). The runtime sums counts
+	// across a rotation and judges limits with Engine.CheckInstanceTotals.
+	Counts map[uint32]int64
+	// Halt is the violation that requested Halt during this collection, if
+	// any (cycle-private: concurrent collections never see each other's).
+	Halt *report.Violation
+}
+
+// ZoneCollection is one in-flight concurrent zone collection.
+type ZoneCollection struct {
+	c        *MarkSweep
+	z        *vmheap.Heap
+	tracer   *trace.Tracer
+	cyc      *assertions.Cycle
+	start    time.Time
+	leftover time.Duration
+}
+
+// zoneTracer returns the zone's private tracer, creating it on first use.
+func (c *MarkSweep) zoneTracer(z *vmheap.Heap) *trace.Tracer {
+	c.zmu.Lock()
+	defer c.zmu.Unlock()
+	t := c.zoneTracers[z]
+	if t == nil {
+		t = trace.New(c.heap, c.reg)
+		t.SetTelemetry(c.tele)
+		if c.zoneTracers == nil {
+			c.zoneTracers = make(map[*vmheap.Heap]*trace.Tracer)
+		}
+		c.zoneTracers[z] = t
+	}
+	return t
+}
+
+// BeginZone starts a concurrent collection of z. The caller holds z's zone
+// lock (not the runtime lock) and guarantees no incremental or pacer cycle is
+// active — the runtime's zone-collection ticket (see core) excludes them.
+func (c *MarkSweep) BeginZone(z *vmheap.Heap) *ZoneCollection {
+	if c.inc.active || c.inc.pending != nil {
+		panic("gc: BeginZone with an incremental cycle in flight")
+	}
+	c.tele.CycleBegin()
+	zc := &ZoneCollection{c: c, z: z, start: time.Now()}
+	// Pending lazy sweep must settle in this zone before its mark bits are
+	// reused; zone-local, so the zone lock suffices.
+	zc.leftover = c.stats.timedPhase(z.ZoneCompleteSweep)
+	zc.tracer = c.zoneTracer(z)
+	zc.tracer.ResetZoneConcurrent(z)
+	return zc
+}
+
+// Scan runs the collection's pause phase under the runtime lock (held by the
+// caller, along with the zone lock): root scan plus the pre-resolved
+// remembered-set slot scan. targets were resolved by the runtime under the
+// remembered-set lock; null is invoked for every slot whose target the trace
+// force-nulls, so the runtime can drop the entry.
+func (zc *ZoneCollection) Scan(targets []trace.SlotTarget, null func(slot uint32)) {
+	if e := zc.c.engine; e != nil {
+		zc.cyc = e.NewCycle()
+		zc.tracer.SetChecks(e.ChecksFor(zc.cyc))
+	}
+	zc.tracer.ZoneRootScan(zc.c.roots)
+	zc.tracer.ZoneSlotScan(targets, null)
+}
+
+// Finish drains the mark worklist and sweeps the zone, with only the zone
+// lock held: mutators in other zones run throughout. Returns the outcome for
+// FoldZone.
+func (zc *ZoneCollection) Finish() ZoneOutcome {
+	c := zc.c
+	zc.tracer.ZoneDrain()
+
+	var sweepClear uint64
+	var onFree func(vmheap.Ref, uint64)
+	if c.engine != nil {
+		z := zc.z
+		c.engine.PreSweep(func(r vmheap.Ref) bool {
+			return !z.Contains(r) || c.heap.Flags(r, vmheap.FlagMark) != 0
+		})
+		sweepClear = c.engine.SweepFlags()
+		onFree = c.engine.FreeHook()
+	}
+
+	ts := zc.tracer.Stats()
+	// Only this zone's tracer marks this zone's objects (other concurrent
+	// tracers are gated out), so its visit counts are the zone's exact live
+	// census and the walkless lazy-sweep arm stays available.
+	t0 := time.Now()
+	sw := zc.z.ZoneSweep(vmheap.SweepOptions{
+		ClearFlags:    sweepClear,
+		OnFree:        onFree,
+		MarkedKnown:   true,
+		MarkedObjects: ts.Visited,
+		MarkedWords:   ts.VisitedWords,
+	})
+	sweepPause := zc.leftover + time.Since(t0)
+
+	elapsed := time.Since(zc.start)
+	c.tele.Pause(elapsed)
+	out := ZoneOutcome{
+		Elapsed:    elapsed,
+		SweepPause: sweepPause,
+		Trace:      ts,
+		Sweep:      sw,
+		Counts:     zc.tracer.LocalCounts(),
+	}
+	if zc.cyc != nil {
+		out.Halt = zc.cyc.Halted()
+	}
+	return out
+}
+
+// FoldZone merges one concurrent zone collection's outcome into the
+// collector statistics. The caller holds the runtime lock. The Elapsed
+// interval is charged as a pause: it is a zone-local stoppage — that zone's
+// mutators stall for the duration — even though the world keeps running.
+func (c *MarkSweep) FoldZone(o ZoneOutcome) {
+	c.stats.Collections++
+	c.stats.ZoneCollections++
+	c.stats.GCTime += o.Elapsed
+	c.stats.addPause(o.Elapsed)
+	if c.stats.RecordPauses {
+		c.stats.SweepPauseLog = append(c.stats.SweepPauseLog, o.SweepPause)
+	}
+	c.stats.MarkedObjects += o.Trace.Visited
+	c.stats.FreedObjects += o.Sweep.FreedObjects
+	c.stats.FreedWords += o.Sweep.FreedWords
+	c.stats.addTrace(o.Trace)
 }

@@ -60,6 +60,10 @@ type Generational struct {
 
 	inc incCycle
 
+	// prepareRoots, when non-nil, runs before every root scan and
+	// completion sweep (see Collector.SetPrepareRoots).
+	prepareRoots func()
+
 	minorsSinceMajor int
 
 	// tele, when non-nil, receives cycle/pause events (the tracer and heap
@@ -124,6 +128,7 @@ func (c *Generational) WriteBarrier(parent vmheap.Ref) {
 // and the remembered set is dropped.
 func (c *Generational) incParts() incShared {
 	return incShared{
+		prepare:    c.prepareRoots,
 		heap:       c.heap,
 		tracer:     c.tracer,
 		engine:     c.engine,
@@ -144,6 +149,16 @@ func (c *Generational) incParts() incShared {
 			c.minorsSinceMajor = 0
 			return sw
 		},
+	}
+}
+
+// SetPrepareRoots implements Collector.
+func (c *Generational) SetPrepareRoots(fn func()) { c.prepareRoots = fn }
+
+// prep runs the prepareRoots hook if one is installed.
+func (c *Generational) prep() {
+	if c.prepareRoots != nil {
+		c.prepareRoots()
 	}
 }
 
@@ -226,6 +241,7 @@ func (c *Generational) Collect() error {
 // assertion checks run.
 func (c *Generational) collectMinor() error {
 	c.heap.AssertNoBuffers("minor collection")
+	c.prep() // the minor sweep reclaims unpinned nursery objects too
 	c.tele.CycleBegin()
 	start := time.Now()
 	// Finish any lazily pending sweep before tracing (stale mark bits).
@@ -276,6 +292,7 @@ func (c *Generational) CollectFull() error {
 		return c.incParts().finish()
 	}
 	c.heap.AssertNoBuffers("full collection")
+	c.prep() // root scan and sweep share this pause; one gather covers both
 	c.tele.CycleBegin()
 	start := time.Now()
 	// Finish any lazily pending sweep before tracing (stale mark bits).

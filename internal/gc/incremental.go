@@ -40,6 +40,9 @@ type incCycle struct {
 // finishSweep runs the collector-specific sweep of a completed cycle (the
 // generational collector promotes survivors and drops its remembered set).
 type incShared struct {
+	// prepare, when non-nil, runs before the snapshot root scan and before
+	// the completion sweep (Collector.SetPrepareRoots).
+	prepare     func()
 	heap        *vmheap.Heap
 	tracer      *trace.Tracer
 	engine      *assertions.Engine // nil in Base mode
@@ -70,6 +73,13 @@ func (p incShared) start() {
 	// The cycle ends in a full-heap sweep and the snapshot trace reads
 	// headers arena-wide; allocation buffers must all have been retired.
 	p.heap.AssertNoBuffers("incremental cycle start")
+	if p.prepare != nil {
+		// Gather hidden-register pins into the root set before the
+		// snapshot scan; with every buffer retired, no thread can slip an
+		// unpinned allocation in before the scan (allocation now needs
+		// the runtime lock this pause holds).
+		p.prepare()
+	}
 	p.tele.CycleBegin()
 	begin := time.Now()
 	// A lazy sweep pending from the previous cycle must finish before the
@@ -148,6 +158,15 @@ func (p incShared) finish() error {
 	begin := time.Now()
 	t := p.tracer
 	t.IncrementalSlice(math.MaxInt)
+
+	if p.prepare != nil {
+		// Re-certify pins before the sweep advances the epoch: objects
+		// allocated during this cycle are black (allocate-black) and will
+		// survive, but their pin stamps date from the pre-sweep epoch —
+		// without this refresh the NEXT cycle would not protect the ones
+		// still unpublished.
+		p.prepare()
+	}
 
 	var sweepClear uint64
 	var onFree func(vmheap.Ref, uint64)

@@ -97,6 +97,23 @@ type Tracer struct {
 	// the gate.
 	zlo, zhi uint32
 
+	// concurrent is true for a zone trace that overlaps mutators and
+	// other zone collections (armed by ResetZoneConcurrent). Reference
+	// slots are then read — and Force-nulled — through the atomic heap
+	// accessors: an in-zone slot this trace scans can simultaneously be
+	// Force-nulled by another zone's trace (the slot is a remembered-set
+	// entry of that zone), and every mutator slot load is likewise
+	// atomic on zoned runtimes. Headers stay plain: the zone gate means
+	// only this trace touches this zone's headers.
+	concurrent bool
+
+	// localCounts accumulates assert-instances tallies for a concurrent
+	// zone trace. Overlapping traces bumping the registry's shared
+	// per-class counters would corrupt both tallies, so each concurrent
+	// trace counts privately; the collector folds the map through
+	// Registry.FoldLocalCounts after the trace.
+	localCounts map[uint32]int64
+
 	// tele, when non-nil, receives a span per marking pass (mark,
 	// mark_parallel, ownership, minor_mark). Nil — the default — costs one
 	// branch per pass, nothing per object.
@@ -146,6 +163,8 @@ func (t *Tracer) Reset() {
 	t.incScan = false
 	t.barrierSrc = vmheap.Nil
 	t.zlo, t.zhi = 0, 0
+	t.concurrent = false
+	t.localCounts = nil
 }
 
 // ResetZone prepares the tracer for a zone-scoped collection: the same
@@ -161,7 +180,23 @@ func (t *Tracer) ResetZone(z *vmheap.Heap) {
 	t.incScan = false
 	t.barrierSrc = vmheap.Nil
 	t.zlo, t.zhi = z.ZoneRange()
+	t.concurrent = false
+	t.localCounts = nil
 }
+
+// ResetZoneConcurrent is ResetZone for a collection that will overlap
+// mutators and other zone collections: slot access turns atomic and
+// instance counting goes to the trace-local tally (see the concurrent and
+// localCounts fields).
+func (t *Tracer) ResetZoneConcurrent(z *vmheap.Heap) {
+	t.ResetZone(z)
+	t.concurrent = true
+}
+
+// LocalCounts returns the per-class live-instance tally of the last
+// concurrent zone trace (nil when nothing was tracked, or after a
+// non-concurrent reset).
+func (t *Tracer) LocalCounts() map[uint32]int64 { return t.localCounts }
 
 // inZone reports whether the trace may dereference c: always true with the
 // gate disarmed, else only for refs inside the zone bounds.
@@ -287,6 +322,58 @@ func (t *Tracer) encounterSlot(w uint32, onNull func(uint32)) {
 	}
 }
 
+// SlotTarget is one pre-resolved remembered-set slot for a concurrent zone
+// trace: the arena word index and the in-zone value it held when the
+// collection's setup validated the remembered set. The value is resolved
+// at setup — under the remembered set's lock, while the slot's source
+// object is provably unfreed — rather than re-read at encounter time,
+// because by then a concurrent collection of the source's zone may have
+// freed the source and recycled the slot's memory.
+type SlotTarget struct {
+	Slot   uint32
+	Target vmheap.Ref
+}
+
+// ZoneRootScan, ZoneSlotScan and ZoneDrain split TraceInfraZone into the
+// phases of a concurrent zone collection. The caller runs ZoneRootScan
+// under the runtime lock (root slots belong to frames and globals that
+// mutators update under it) and ZoneSlotScan with the pre-resolved
+// targets; both only seed the worklist and run the per-encounter checks on
+// the roots themselves. ZoneDrain then does the bulk of the marking with
+// only the zone's own lock held, concurrently with mutators and other
+// zones' collections.
+func (t *Tracer) ZoneRootScan(src roots.Source) {
+	src.EachRoot(func(slot *vmheap.Ref) {
+		t.encounter(slot)
+	})
+}
+
+// ZoneSlotScan encounters each pre-resolved remembered-set target as a
+// root. A Force verdict calls null(slot) instead of writing the heap word
+// directly: only the remembered set's owner can tell whether the slot's
+// memory is still valid (its source object may have been freed by a
+// concurrent collection of another zone), so the null — and the matching
+// entry drop — happen under its lock in the callback.
+func (t *Tracer) ZoneSlotScan(targets []SlotTarget, null func(slot uint32)) {
+	for _, st := range targets {
+		if st.Target == vmheap.Nil {
+			continue
+		}
+		if t.check(st.Target) && null != nil {
+			null(st.Slot)
+		}
+	}
+}
+
+// ZoneDrain runs the path-tracking DFS over the seeded worklist. This is
+// the concurrent bulk of a zone collection; one telemetry mark span covers
+// it (the root and slot scans are part of the collection's setup pause).
+func (t *Tracer) ZoneDrain() {
+	teleStart := t.tele.Begin(telemetry.PhaseMark)
+	defer t.tele.End(telemetry.PhaseMark, teleStart)
+	t.drainInfra()
+}
+
 // drainInfra runs the path-tracking DFS until the worklist is empty.
 func (t *Tracer) drainInfra() {
 	for len(t.stack) > 0 {
@@ -322,27 +409,48 @@ func (t *Tracer) scanObject(r vmheap.Ref) {
 	}
 }
 
-// encounterField processes the reference in field word off of obj.
+// encounterField processes the reference in field word off of obj. A
+// concurrent zone trace loads and Force-nulls the slot atomically: the
+// slot may simultaneously be Force-nulled by another zone's trace holding
+// it as a remembered-set entry.
 func (t *Tracer) encounterField(obj vmheap.Ref, off uint32) {
-	c := t.heap.RefAt(obj, off)
+	var c vmheap.Ref
+	if t.concurrent {
+		c = t.heap.RefAtAtomic(obj, off)
+	} else {
+		c = t.heap.RefAt(obj, off)
+	}
 	if c == vmheap.Nil {
 		t.stats.RefsScanned++
 		return
 	}
 	if t.check(c) {
-		t.heap.SetRefAt(obj, off, vmheap.Nil)
+		if t.concurrent {
+			t.heap.SetRefAtAtomic(obj, off, vmheap.Nil)
+		} else {
+			t.heap.SetRefAt(obj, off, vmheap.Nil)
+		}
 	}
 }
 
 // encounterArraySlot processes array element i of obj.
 func (t *Tracer) encounterArraySlot(obj vmheap.Ref, i uint32) {
-	c := vmheap.Ref(t.heap.ArrayWord(obj, i))
+	var c vmheap.Ref
+	if t.concurrent {
+		c = vmheap.Ref(t.heap.ArrayWordAtomic(obj, i))
+	} else {
+		c = vmheap.Ref(t.heap.ArrayWord(obj, i))
+	}
 	if c == vmheap.Nil {
 		t.stats.RefsScanned++
 		return
 	}
 	if t.check(c) {
-		t.heap.SetArrayWord(obj, i, 0)
+		if t.concurrent {
+			t.heap.SetArrayWordAtomic(obj, i, 0)
+		} else {
+			t.heap.SetArrayWord(obj, i, 0)
+		}
 	}
 }
 
@@ -401,10 +509,19 @@ func (t *Tracer) check(c vmheap.Ref) (forceNull bool) {
 	h.SetFlags(c, vmheap.FlagMark)
 	t.countVisit(c)
 
-	// Instance counting for assert-instances.
+	// Instance counting for assert-instances. A concurrent zone trace
+	// tallies locally (see localCounts); everything else feeds the
+	// registry's shared counters directly.
 	class := h.ClassID(c)
 	if t.reg.Tracked(class) {
-		t.reg.CountInstance(class)
+		if t.concurrent {
+			if t.localCounts == nil {
+				t.localCounts = make(map[uint32]int64)
+			}
+			t.localCounts[class]++
+		} else {
+			t.reg.CountInstance(class)
+		}
 	}
 
 	// Root-phase ownership check: a reachable ownee must carry the owned

@@ -141,6 +141,18 @@ type ZoneInfo struct {
 	FreeWords   uint64
 }
 
+// ZoneInfoAt returns zone i's occupancy summary alone, touching only that
+// zone's counters. The zone-aware pacer reads zones it is not collecting
+// while another zone's sweep mutates its own counters under its zone lock;
+// ZoneInfos would read every zone's counters and race.
+func (h *Heap) ZoneInfoAt(i int) ZoneInfo {
+	p := h.peers[i]
+	return ZoneInfo{
+		ID: p.zoneID, Lo: p.lo, Hi: p.hi,
+		LiveObjects: p.liveObjs, LiveWords: p.liveWords, FreeWords: p.freeWords,
+	}
+}
+
 // ZoneInfos returns a per-zone occupancy summary in ascending zone order.
 func (h *Heap) ZoneInfos() []ZoneInfo {
 	out := make([]ZoneInfo, len(h.peers))
