@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench sweepbench allocbench telemetrybench pausebench zonebench tracebench parzonebench difftest fuzz figures casestudies verify
+.PHONY: all build test race bench sweepbench allocbench telemetrybench pausebench zonebench tracebench parzonebench assertbench difftest fuzz figures casestudies verify
 
 all: build test
 
@@ -59,6 +59,15 @@ tracebench:
 parzonebench:
 	go run ./cmd/gcbench -fig zones -zonegcworkers 4 | tee results/parallel_zones.txt
 
+# Assertion-overhead report: per-assertion-kind collection throughput with
+# the engine unarmed vs armed (dead, region, unshared, owned), plus the
+# staleness profiler's Touch cost and Advance pause — each under the dense
+# epoch-stamped side tables and the map[Ref] reference implementation
+# (see results/assert_overhead.txt).
+assertbench:
+	go test -run '^$$' -bench BenchmarkAssertTrace -benchtime 3000x -benchmem ./internal/harness | tee results/assert_overhead.txt
+	go test -run '^$$' -bench BenchmarkStaleness -benchmem ./internal/harness | tee -a results/assert_overhead.txt
+
 # Differential tests: serial vs parallel collections on identical scripts,
 # stop-the-world vs incremental cycles (plus the shadow-model oracle), eager
 # vs parallel vs lazy sweep modes under both collectors, direct vs buffered
@@ -71,6 +80,8 @@ difftest:
 	go test -race -run 'TestSweepModesDifferential|TestLazySweep|TestAllocBuffer|TestTelemetry' -v ./internal/core
 	go test -race -run 'TestConcurrentDifferential' -v ./internal/core
 	go test -race -run 'TestParallelZoneDifferential' -v ./internal/core
+	go test -race -run 'TestSideTabDifferential' -v ./internal/core
+	go test -race -run 'TestStalenessSideTabDifferential' -v ./internal/staleness
 
 # Short coverage-guided fuzz runs: the serial/parallel equivalence, the
 # stop-the-world/incremental equivalence, the eager/parallel/lazy sweep
@@ -83,6 +94,7 @@ fuzz:
 	go test -run '^$$' -fuzz FuzzAllocBuffer -fuzztime 30s ./internal/core
 	go test -run '^$$' -fuzz FuzzConcurrentPacer -fuzztime 30s ./internal/core
 	go test -run '^$$' -fuzz FuzzZoneRemset -fuzztime 30s ./internal/core
+	go test -run '^$$' -fuzz FuzzSideTab -fuzztime 30s ./internal/sidetab
 
 # Regenerate the paper's figures (text tables on stdout, CSV alongside).
 figures:

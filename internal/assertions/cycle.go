@@ -3,6 +3,7 @@ package assertions
 import (
 	"repro/internal/classes"
 	"repro/internal/report"
+	"repro/internal/sidetab"
 	"repro/internal/trace"
 	"repro/internal/vmheap"
 )
@@ -30,9 +31,16 @@ type Cycle struct {
 	e   *Engine
 	seq uint64
 
-	// Per-cycle report deduplication. reportedDead caches the handler's
-	// action so the Force decision is applied consistently to every
-	// incoming reference of the same object.
+	// Per-cycle report deduplication: dense epoch-stamped tables drawn
+	// from the engine pool (tabs), or — in the map-backed reference mode,
+	// and on the pre-collection placeholder cycle — lazily-built maps.
+	// tabs.dead / reportedDead cache the handler's action so the Force
+	// decision is applied consistently to every incoming reference of the
+	// same object; the improper table is shared between the ownership
+	// phase's improper-use reports and the root phase's unowned-ownee
+	// reports, so one object yields at most one ownership warning per
+	// cycle regardless of which phase sees it first.
+	tabs             *cycleTabs
 	reportedDead     map[vmheap.Ref]report.Action
 	reportedShared   map[vmheap.Ref]bool
 	reportedImproper map[vmheap.Ref]bool
@@ -40,17 +48,73 @@ type Cycle struct {
 	halt *report.Violation
 }
 
+// cycleTabs is one collection's set of dense dedupe tables. Released sets
+// return to the engine pool cleared (an O(1) epoch bump each), so
+// steady-state collections allocate nothing: the pool high-water mark is
+// the maximum number of collections ever simultaneously in flight.
+type cycleTabs struct {
+	dead     *sidetab.Table[report.Action]
+	shared   *sidetab.Bits
+	improper *sidetab.Bits
+}
+
+// acquireTabs pops a cleared table set from the pool, or creates one.
+func (e *Engine) acquireTabs() *cycleTabs {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n := len(e.tabPool); n > 0 {
+		t := e.tabPool[n-1]
+		e.tabPool = e.tabPool[:n-1]
+		return t
+	}
+	t := &cycleTabs{
+		dead:     sidetab.NewTable[report.Action](),
+		shared:   sidetab.NewBits(),
+		improper: sidetab.NewBits(),
+	}
+	e.allTabs = append(e.allTabs, t)
+	return t
+}
+
+// ReleaseCycle returns a cycle's dense tables to the engine pool, cleared.
+// Call after the last read of the cycle's state (Halted is unaffected —
+// the halt verdict lives on the Cycle itself). The whole-heap paths
+// release via BeginCycle; the concurrent zone path releases at the end of
+// ZoneCollection.Finish. Releasing a map-mode or placeholder cycle is a
+// no-op; a second release of the same cycle likewise.
+func (e *Engine) ReleaseCycle(c *Cycle) {
+	if c == nil || c.tabs == nil {
+		return
+	}
+	t := c.tabs
+	c.tabs = nil
+	t.dead.Clear()
+	t.shared.Clear()
+	t.improper.Clear()
+	e.mu.Lock()
+	e.tabPool = append(e.tabPool, t)
+	e.mu.Unlock()
+}
+
 // NewCycle creates a fresh cycle for one collection. Safe to call
 // concurrently with other collections.
 func (e *Engine) NewCycle() *Cycle {
-	return &Cycle{e: e, seq: e.cycle.Add(1)}
+	c := &Cycle{e: e, seq: e.cycle.Add(1)}
+	if !e.mapTables {
+		c.tabs = e.acquireTabs()
+	}
+	return c
 }
 
 // BeginCycle prepares the engine's default cycle for a collection (the
 // whole-heap path): per-cycle report deduplication is reset and the cycle
-// counter advances.
+// counter advances. The outgoing cycle's tables return to the pool — its
+// reports are never consulted again (a pending Halt was surfaced by the
+// collection that produced it).
 func (e *Engine) BeginCycle() {
+	old := e.defaultCycle
 	e.defaultCycle = e.NewCycle()
+	e.ReleaseCycle(old)
 }
 
 // Halted returns the violation for which the handler requested Halt during
@@ -125,20 +189,77 @@ func (c *Cycle) dispatch(v *report.Violation) report.Action {
 	return act
 }
 
+// deadSeen, recordDead, sharedSeenRecord, improperSeen and recordImproper
+// are the dedupe-table accessors the trace hooks run per encounter: one
+// dense epoch-stamped probe in sidetab mode, the original map operations
+// in the reference mode (and on the pre-collection placeholder cycle,
+// whose tables are nil in both modes).
+
+func (c *Cycle) deadSeen(obj vmheap.Ref) (report.Action, bool) {
+	if c.tabs != nil {
+		return c.tabs.dead.Get(uint32(obj))
+	}
+	act, ok := c.reportedDead[obj]
+	return act, ok
+}
+
+func (c *Cycle) recordDead(obj vmheap.Ref, act report.Action) {
+	if c.tabs != nil {
+		c.tabs.dead.Set(uint32(obj), act)
+		return
+	}
+	if c.reportedDead == nil {
+		c.reportedDead = make(map[vmheap.Ref]report.Action)
+	}
+	c.reportedDead[obj] = act
+}
+
+// sharedSeenRecord marks obj as shared-reported, returning whether it
+// already was.
+func (c *Cycle) sharedSeenRecord(obj vmheap.Ref) bool {
+	if c.tabs != nil {
+		return !c.tabs.shared.Set(uint32(obj))
+	}
+	if c.reportedShared[obj] {
+		return true
+	}
+	if c.reportedShared == nil {
+		c.reportedShared = make(map[vmheap.Ref]bool)
+	}
+	c.reportedShared[obj] = true
+	return false
+}
+
+func (c *Cycle) improperSeen(obj vmheap.Ref) bool {
+	if c.tabs != nil {
+		return c.tabs.improper.Get(uint32(obj))
+	}
+	return c.reportedImproper[obj]
+}
+
+func (c *Cycle) recordImproper(obj vmheap.Ref) {
+	if c.tabs != nil {
+		c.tabs.improper.Set(uint32(obj))
+		return
+	}
+	if c.reportedImproper == nil {
+		c.reportedImproper = make(map[vmheap.Ref]bool)
+	}
+	c.reportedImproper[obj] = true
+}
+
 // onDead handles an encounter of a dead-asserted object during tracing. The
 // handler runs once per object per cycle; its action is cached so Force is
 // applied uniformly to every incoming reference.
 func (c *Cycle) onDead(obj vmheap.Ref, path func() []vmheap.Ref) report.Action {
-	if act, seen := c.reportedDead[obj]; seen {
+	if act, seen := c.deadSeen(obj); seen {
 		return act
 	}
 	e := c.e
 	kind := report.DeadReachable
-	e.mu.Lock()
-	if e.regionObjs[obj] {
+	if e.regionHas(obj) {
 		kind = report.RegionSurvivor
 	}
-	e.mu.Unlock()
 	v := &report.Violation{
 		Kind:   kind,
 		Cycle:  c.seq,
@@ -147,22 +268,15 @@ func (c *Cycle) onDead(obj vmheap.Ref, path func() []vmheap.Ref) report.Action {
 		Path:   e.pathElems(path()),
 	}
 	act := c.dispatch(v)
-	if c.reportedDead == nil {
-		c.reportedDead = make(map[vmheap.Ref]report.Action)
-	}
-	c.reportedDead[obj] = act
+	c.recordDead(obj, act)
 	return act
 }
 
 // onShared handles the second encounter of an unshared-asserted object.
 func (c *Cycle) onShared(obj vmheap.Ref, path func() []vmheap.Ref) {
-	if c.reportedShared[obj] {
+	if c.sharedSeenRecord(obj) {
 		return
 	}
-	if c.reportedShared == nil {
-		c.reportedShared = make(map[vmheap.Ref]bool)
-	}
-	c.reportedShared[obj] = true
 	e := c.e
 	c.dispatch(&report.Violation{
 		Kind:   report.SharedObject,
@@ -174,12 +288,18 @@ func (c *Cycle) onShared(obj vmheap.Ref, path func() []vmheap.Ref) {
 }
 
 // onUnowned handles a root-phase visit of an ownee without the owned bit.
+// It shares the improper table with onImproper — whichever phase reports
+// an object first suppresses the other's warning — and records its own
+// report, so an ownee reaching this hook through more than one phase (the
+// root scan and the ownee-subtree drain both call it) warns exactly once
+// per cycle.
 func (c *Cycle) onUnowned(obj vmheap.Ref, path func() []vmheap.Ref) {
-	if c.reportedImproper[obj] {
+	if c.improperSeen(obj) {
 		// Already reported as improper use during the ownership phase;
 		// a second warning for the same object would be noise.
 		return
 	}
+	c.recordImproper(obj)
 	e := c.e
 	ownerName := "unknown owner"
 	if idx, ok := e.ownerOf(obj); ok {
@@ -199,13 +319,10 @@ func (c *Cycle) onUnowned(obj vmheap.Ref, path func() []vmheap.Ref) {
 
 // onImproper handles an ownee reached from a different owner's scan.
 func (c *Cycle) onImproper(obj vmheap.Ref, scanningOwner int, path func() []vmheap.Ref) {
-	if c.reportedImproper[obj] {
+	if c.improperSeen(obj) {
 		return
 	}
-	if c.reportedImproper == nil {
-		c.reportedImproper = make(map[vmheap.Ref]bool)
-	}
-	c.reportedImproper[obj] = true
+	c.recordImproper(obj)
 	e := c.e
 	owner := "unknown owner"
 	if o := e.owners[scanningOwner]; o != vmheap.Nil {
@@ -247,6 +364,7 @@ func (e *Engine) CheckInstanceLimits() {
 // cycle.
 func (e *Engine) CheckInstanceTotals(counts []int64) *report.Violation {
 	c := e.NewCycle()
+	defer e.ReleaseCycle(c) // instance reports never touch the dedupe tables
 	for _, over := range e.reg.CheckTotals(counts) {
 		c.dispatch(&report.Violation{
 			Kind:  report.TooManyInstances,
@@ -323,7 +441,7 @@ func (e *Engine) PreSweep(live func(vmheap.Ref) bool) {
 		if !marked(o) {
 			deadOwner[i] = true
 			dying = append(dying, o)
-			delete(e.ownerIndex, o)
+			e.delOwnerIdx(o)
 			// The object is about to be freed; its header dies with it,
 			// so there is no bit to clear.
 			e.owners[i] = vmheap.Nil
@@ -401,15 +519,23 @@ func (e *Engine) SweepFlags() uint64 { return vmheap.FlagOwned }
 // and a later allocation recycling such a Ref would be misreported as a
 // RegionSurvivor if it is ever asserted dead.
 func (e *Engine) FreeHook() func(vmheap.Ref, uint64) {
+	if e.regionTab != nil {
+		// Dense mode: the purge locks only the freed ref's zone shard, so
+		// concurrent zone sweeps free without touching the engine guard.
+		if e.regionTab.Len() == 0 {
+			return nil
+		}
+		return func(r vmheap.Ref, _ uint64) { e.regionTab.Unset(uint32(r)) }
+	}
 	e.mu.Lock()
-	n := len(e.regionObjs)
+	n := len(e.regionMap)
 	e.mu.Unlock()
 	if n == 0 {
 		return nil
 	}
 	return func(r vmheap.Ref, _ uint64) {
 		e.mu.Lock()
-		delete(e.regionObjs, r)
+		delete(e.regionMap, r)
 		e.mu.Unlock()
 	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/classes"
 	"repro/internal/report"
+	"repro/internal/sidetab"
 	"repro/internal/threads"
 	"repro/internal/vmheap"
 )
@@ -67,16 +68,34 @@ type Engine struct {
 	// private cycles with NewCycle.
 	defaultCycle *Cycle
 
-	// regionObjs records which dead-asserted objects came from an
-	// assert-alldead bracket, so their violations carry the
-	// RegionSurvivor kind. Entries are purged when objects are freed.
-	regionObjs map[vmheap.Ref]bool
+	// Region standing — which dead-asserted objects came from an
+	// assert-alldead bracket, so their violations carry the RegionSurvivor
+	// kind; entries are purged as objects are freed. The dense form is a
+	// zone-sharded epoch table (internal/sidetab): the per-free purge and
+	// the per-encounter probe lock only the shard of the ref's own zone,
+	// so concurrent zone collections never contend here (shard locks are
+	// leaves, safe under e.mu). mapTables selects the original map-backed
+	// form, kept as the differential-testing and benchmark baseline; the
+	// map is then guarded by e.mu as before.
+	mapTables bool
+	regionTab *sidetab.ShardedBits // nil when mapTables
+	regionMap map[vmheap.Ref]bool  // nil unless mapTables
 
 	// Ownership tables. owners may contain Nil holes after an owner is
-	// collected; ownerIndex maps live owner objects to their slot.
-	owners     []vmheap.Ref
-	ownerIndex map[vmheap.Ref]int
-	ownees     []owneeEntry // sorted by obj
+	// collected; ownerTab (or ownerMap under mapTables) maps live owner
+	// objects to their slot. Guarded by e.mu in both forms — ownership
+	// assertions always escalate to whole-heap collections, so this table
+	// sees no zone concurrency.
+	owners   []vmheap.Ref
+	ownerTab *sidetab.Table[int32]
+	ownerMap map[vmheap.Ref]int
+	ownees   []owneeEntry // sorted by obj
+
+	// Per-cycle dedupe table pool (see cycle.go): released cycleTabs wait
+	// here, cleared, for the next collection; allTabs tracks every set
+	// ever created for footprint accounting. Both guarded by e.mu.
+	tabPool []*cycleTabs
+	allTabs []*cycleTabs
 
 	stats Stats
 }
@@ -85,12 +104,12 @@ type Engine struct {
 // violation handler.
 func New(h *vmheap.Heap, reg *classes.Registry, ts *threads.Set, handler report.Handler) *Engine {
 	e := &Engine{
-		heap:       h,
-		reg:        reg,
-		threads:    ts,
-		handler:    handler,
-		regionObjs: make(map[vmheap.Ref]bool),
-		ownerIndex: make(map[vmheap.Ref]int),
+		heap:      h,
+		reg:       reg,
+		threads:   ts,
+		handler:   handler,
+		regionTab: sidetab.NewShardedBits(h.ZoneRanges()),
+		ownerTab:  sidetab.NewTable[int32](),
 	}
 	// The initial default cycle exists so pre-collection paths never see a
 	// nil cycle; it must NOT consume a sequence number — the first real
@@ -106,6 +125,110 @@ func (e *Engine) SetHandler(h report.Handler) { e.handler = h }
 // own touches of engine-shared state (thread creation, region-queue
 // recording on the allocation path) against concurrent zone collections.
 func (e *Engine) Guard() *sync.Mutex { return &e.mu }
+
+// SetMapTables switches the engine to the original map-backed side tables
+// (the reference implementation the sidetab differential tests and the
+// assertbench baseline run against). Must be called before any region,
+// ownership, or collection activity; existing dense entries do not
+// migrate.
+func (e *Engine) SetMapTables(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mapTables = on
+	if on {
+		e.regionTab = nil
+		e.ownerTab = nil
+		e.regionMap = make(map[vmheap.Ref]bool)
+		e.ownerMap = make(map[vmheap.Ref]int)
+	} else {
+		e.regionTab = sidetab.NewShardedBits(e.heap.ZoneRanges())
+		e.ownerTab = sidetab.NewTable[int32]()
+		e.regionMap = nil
+		e.ownerMap = nil
+	}
+}
+
+// regionHas probes region standing. Dense mode locks only the ref's zone
+// shard; map mode takes e.mu (callers never hold it here).
+func (e *Engine) regionHas(r vmheap.Ref) bool {
+	if e.regionTab != nil {
+		return e.regionTab.Get(uint32(r))
+	}
+	e.mu.Lock()
+	ok := e.regionMap[r]
+	e.mu.Unlock()
+	return ok
+}
+
+// regionSet and regionDel mutate region standing; callers hold e.mu in
+// map mode (the dense shard locks are safe under it).
+func (e *Engine) regionSet(r vmheap.Ref) {
+	if e.regionTab != nil {
+		e.regionTab.Set(uint32(r))
+		return
+	}
+	e.regionMap[r] = true
+}
+
+func (e *Engine) regionDel(r vmheap.Ref) {
+	if e.regionTab != nil {
+		e.regionTab.Unset(uint32(r))
+		return
+	}
+	delete(e.regionMap, r)
+}
+
+// ownerIdx looks up an owner's slot; caller holds e.mu.
+func (e *Engine) ownerIdx(r vmheap.Ref) (int, bool) {
+	if e.ownerTab != nil {
+		v, ok := e.ownerTab.Get(uint32(r))
+		return int(v), ok
+	}
+	i, ok := e.ownerMap[r]
+	return i, ok
+}
+
+func (e *Engine) setOwnerIdx(r vmheap.Ref, idx int) {
+	if e.ownerTab != nil {
+		e.ownerTab.Set(uint32(r), int32(idx))
+		return
+	}
+	e.ownerMap[r] = idx
+}
+
+func (e *Engine) delOwnerIdx(r vmheap.Ref) {
+	if e.ownerTab != nil {
+		e.ownerTab.Delete(uint32(r))
+		return
+	}
+	delete(e.ownerMap, r)
+}
+
+// SideTabFootprint sums the dense side tables' materialized chunk bytes
+// and lifetime epoch rollovers — the engine-owned tables plus every
+// per-cycle table set. Zero in map mode. Safe concurrently with
+// collections (the counters are atomic; the table registry is under e.mu).
+func (e *Engine) SideTabFootprint() (chunkBytes, rollovers uint64) {
+	e.mu.Lock()
+	tabs := e.allTabs
+	e.mu.Unlock()
+	add := func(s sidetab.Stats) {
+		chunkBytes += s.ChunkBytes
+		rollovers += s.Rollovers
+	}
+	if e.regionTab != nil {
+		add(e.regionTab.Stats())
+	}
+	if e.ownerTab != nil {
+		add(e.ownerTab.Stats())
+	}
+	for _, t := range tabs {
+		add(t.dead.Stats())
+		add(t.shared.Stats())
+		add(t.improper.Stats())
+	}
+	return chunkBytes, rollovers
+}
 
 // Stats returns a snapshot of assertion activity.
 func (e *Engine) Stats() Stats {
@@ -192,11 +315,11 @@ func (e *Engine) AssertAllDead(t *threads.Thread) error {
 		if !e.heap.IsObject(r) {
 			// The region object was reclaimed (or its Ref now points into
 			// a free chunk): it must not retain region standing either.
-			delete(e.regionObjs, r)
+			e.regionDel(r)
 			continue
 		}
 		e.heap.SetFlags(r, vmheap.FlagDead)
-		e.regionObjs[r] = true
+		e.regionSet(r)
 		e.stats.DeadAsserts++
 	}
 	return nil
@@ -226,11 +349,11 @@ func (e *Engine) AssertOwnedBy(owner, ownee vmheap.Ref) error {
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	idx, known := e.ownerIndex[owner]
+	idx, known := e.ownerIdx(owner)
 	if !known {
 		idx = len(e.owners)
 		e.owners = append(e.owners, owner)
-		e.ownerIndex[owner] = idx
+		e.setOwnerIdx(owner, idx)
 		e.heap.SetFlags(owner, vmheap.FlagOwner)
 	}
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/gc"
 	"repro/internal/report"
 	"repro/internal/roots"
+	"repro/internal/sidetab"
 	"repro/internal/telemetry"
 	"repro/internal/threads"
 	"repro/internal/vmheap"
@@ -186,6 +187,14 @@ type Config struct {
 	// the published configuration — compiles every emit point down to one
 	// predictable nil-check branch.
 	Telemetry *telemetry.Config
+	// MapSideTables switches the assertion engine back to the original
+	// map[Ref]-backed side tables instead of the dense epoch-stamped
+	// tables (internal/sidetab). The maps are the reference
+	// implementation: the sidetab differential tests run both and require
+	// identical verdicts, and assertbench uses this as its before
+	// baseline. Off by default — the dense tables are the measured
+	// configuration.
+	MapSideTables bool
 }
 
 // Runtime is a managed heap plus its collector and assertion engine.
@@ -254,6 +263,11 @@ type Runtime struct {
 	zoneHeaps []*vmheap.Heap
 	zones     []*Zone
 	remsets   *remsets
+
+	// retireSeen is the reusable survivor-dedupe scratch table for
+	// Zone.Retire (created on first retire, cleared by epoch bump per
+	// retire; guarded by the world lock).
+	retireSeen *sidetab.Bits
 
 	// Allocation-buffer mode (Config.AllocBuffers). allocBufWords is the
 	// per-thread buffer size in words (0 = direct allocation); incremental
@@ -452,6 +466,9 @@ func New(cfg Config) *Runtime {
 			handler = rt.recorder
 		}
 		rt.engine = assertions.New(rt.heap, rt.reg, rt.threads, handler)
+		if cfg.MapSideTables {
+			rt.engine.SetMapTables(true)
+		}
 	}
 
 	switch cfg.Collector {

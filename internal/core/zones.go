@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/gc"
 	"repro/internal/report"
+	"repro/internal/sidetab"
 	"repro/internal/vmheap"
 )
 
@@ -418,10 +419,16 @@ func (z *Zone) Retire() (survivors int, err error) {
 		rt.engine.BeginCycle()
 	}
 
-	seen := make(map[Ref]bool)
+	// Survivor dedupe rides the runtime's scratch side table: clearing is
+	// an epoch bump, so repeated retires allocate nothing once its chunks
+	// exist (the world lock serializes retires).
+	if rt.retireSeen == nil {
+		rt.retireSeen = sidetab.NewBits()
+	}
+	rt.retireSeen.Clear()
+	seen := rt.retireSeen
 	reportSurvivor := func(obj Ref) {
-		if !seen[obj] {
-			seen[obj] = true
+		if seen.Set(uint32(obj)) {
 			if rt.engine != nil {
 				rt.engine.ReportRetireSurvivor(obj)
 			}
@@ -469,10 +476,10 @@ func (z *Zone) Retire() (survivors int, err error) {
 
 	if rt.engine != nil {
 		if v := rt.engine.Halted(); v != nil {
-			return len(seen), &report.HaltError{Violation: v}
+			return seen.Len(), &report.HaltError{Violation: v}
 		}
 	}
-	return len(seen), nil
+	return seen.Len(), nil
 }
 
 // ZoneStats returns a per-zone occupancy summary (nil when unzoned). Active

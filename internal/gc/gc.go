@@ -76,6 +76,15 @@ type Stats struct {
 	// collection (used by the harness for heap-sizing calibration).
 	LastLiveWords uint64
 
+	// Dense side-table footprint (internal/sidetab): bytes of
+	// materialized chunk storage across the assertion engine's tables and
+	// lifetime epoch rollovers (full chunk zeroings forced by a 32-bit
+	// epoch wrap). Snapshotted from the engine when the runtime builds a
+	// stats snapshot; zero in Base mode and in the map-backed
+	// differential mode.
+	SideTabChunkBytes uint64
+	SideTabRollovers  uint64
+
 	// Parallel-trace totals; all zero when TraceWorkers <= 1.
 	ParallelTraces uint64   // collections whose mark phase ran parallel
 	TraceFallbacks uint64   // parallel traces that re-ran serially to report
@@ -725,6 +734,10 @@ func (zc *ZoneCollection) Finish() ZoneOutcome {
 	}
 	if zc.cyc != nil {
 		out.Halt = zc.cyc.Halted()
+		// Last read of the cycle's state: its dedupe tables go back to
+		// the engine pool for the next collection.
+		c.engine.ReleaseCycle(zc.cyc)
+		zc.cyc = nil
 	}
 	return out
 }

@@ -18,6 +18,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/sidetab"
 )
 
 // magic and version identify the snapshot format.
@@ -310,8 +311,16 @@ func Read(r io.Reader, heapWords int) (*core.Runtime, error) {
 	pinArr := th.NewRefArray(int(numObjects))
 	pin.Set(pinArr)
 
-	remap := make(map[core.Ref]core.Ref, numObjects)
+	// Old-ref → new-ref remapping in a dense side table: snapshot refs are
+	// arena word indexes, so direct indexing beats a map even for the
+	// load path, and the lazy chunks track the snapshot's address range.
+	// Valid refs are always even (2-word alignment) — mapRef rejects odd
+	// or oversized values before they could alias a neighboring slot.
+	remap := sidetab.NewTable[core.Ref]()
 	for i, o := range objects {
+		if uint32(o.oldRef)&1 != 0 {
+			return nil, fmt.Errorf("heapdump: corrupt snapshot ref %d (odd)", o.oldRef)
+		}
 		var newRef core.Ref
 		switch o.kind {
 		case kindScalar:
@@ -324,14 +333,17 @@ func Read(r io.Reader, heapWords int) (*core.Runtime, error) {
 			return nil, fmt.Errorf("heapdump: unknown kind %d", o.kind)
 		}
 		rt.ArrSetRef(pinArr, i, newRef)
-		remap[o.oldRef] = newRef
+		remap.Set(uint32(o.oldRef), newRef)
 	}
 
 	mapRef := func(old uint64) (core.Ref, error) {
 		if old == 0 {
 			return core.Nil, nil
 		}
-		n, ok := remap[core.Ref(old)]
+		if old > uint64(^uint32(0)) || old&1 != 0 {
+			return core.Nil, fmt.Errorf("heapdump: dangling snapshot ref %d", old)
+		}
+		n, ok := remap.Get(uint32(old))
 		if !ok {
 			return core.Nil, fmt.Errorf("heapdump: dangling snapshot ref %d", old)
 		}
@@ -339,7 +351,7 @@ func Read(r io.Reader, heapWords int) (*core.Runtime, error) {
 	}
 
 	for _, o := range objects {
-		newRef := remap[o.oldRef]
+		newRef, _ := remap.Get(uint32(o.oldRef))
 		switch o.kind {
 		case kindScalar:
 			isRef := map[uint16]bool{}

@@ -1,0 +1,98 @@
+package sidetab
+
+import "testing"
+
+// FuzzSideTab drives a random op stream against Bits and Table[uint8] in
+// lockstep with reference Go maps, with the two hazards the layout has:
+// keys straddling chunk boundaries (the key byte is scaled so consecutive
+// byte values cross chunk edges) and epoch rollover (the table epochs
+// start three Clears short of the uint32 wrap, so every input that clears
+// four times crosses the rollover and the zero-chunks path must preserve
+// set/map equivalence).
+func FuzzSideTab(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{4, 4, 4, 4, 5, 6, 7, 8, 9, 10})
+	seed := make([]byte, 64)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bits := NewBits()
+		tab := NewTable[uint8]()
+		bits.epoch = ^uint32(0) - 3
+		tab.epoch = ^uint32(0) - 3
+		bitsRef := map[uint32]bool{}
+		tabRef := map[uint32]uint8{}
+
+		// Spread 256 key bytes across several chunks so boundary slots
+		// (last of chunk d, first of chunk d+1) are exercised.
+		key := func(b byte) uint32 {
+			return (uint32(b) * (chunkSlots*2/32 + 2)) &^ 1
+		}
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op, kb := data[i], data[i+1]
+			k := key(kb)
+			switch op % 5 {
+			case 0:
+				fresh := bits.Set(k)
+				if fresh == bitsRef[k] {
+					t.Fatalf("op %d: Set(%d) fresh=%v but ref present=%v", i, k, fresh, bitsRef[k])
+				}
+				bitsRef[k] = true
+				tab.Set(k, kb)
+				tabRef[k] = kb
+			case 1:
+				bits.Unset(k)
+				delete(bitsRef, k)
+				tab.Delete(k)
+				delete(tabRef, k)
+			case 2:
+				if got, want := bits.Get(k), bitsRef[k]; got != want {
+					t.Fatalf("op %d: Get(%d) = %v, want %v", i, k, got, want)
+				}
+				v, ok := tab.Get(k)
+				wv, wok := tabRef[k]
+				if ok != wok || v != wv {
+					t.Fatalf("op %d: Table.Get(%d) = %d,%v want %d,%v", i, k, v, ok, wv, wok)
+				}
+			case 3:
+				bits.Clear()
+				bitsRef = map[uint32]bool{}
+				tab.Clear()
+				tabRef = map[uint32]uint8{}
+			case 4:
+				if bits.Len() != len(bitsRef) {
+					t.Fatalf("op %d: Bits.Len = %d, want %d", i, bits.Len(), len(bitsRef))
+				}
+				if tab.Len() != len(tabRef) {
+					t.Fatalf("op %d: Table.Len = %d, want %d", i, tab.Len(), len(tabRef))
+				}
+			}
+		}
+
+		// Final full sweep: Range agrees with the model exactly.
+		got := map[uint32]bool{}
+		bits.Range(func(k uint32) { got[k] = true })
+		if len(got) != len(bitsRef) {
+			t.Fatalf("final Bits.Range size %d, want %d", len(got), len(bitsRef))
+		}
+		for k := range bitsRef {
+			if !got[k] {
+				t.Fatalf("final Bits missing key %d", k)
+			}
+		}
+		tGot := map[uint32]uint8{}
+		tab.Range(func(k uint32, v uint8) bool { tGot[k] = v; return true })
+		if len(tGot) != len(tabRef) {
+			t.Fatalf("final Table.Range size %d, want %d", len(tGot), len(tabRef))
+		}
+		for k, v := range tabRef {
+			if tGot[k] != v {
+				t.Fatalf("final Table[%d] = %d, want %d", k, tGot[k], v)
+			}
+		}
+	})
+}

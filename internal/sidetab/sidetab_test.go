@@ -1,0 +1,218 @@
+package sidetab
+
+import (
+	"testing"
+)
+
+func TestBitsBasics(t *testing.T) {
+	b := NewBits()
+	keys := []uint32{2, 4, chunkSlots * 2, chunkSlots*4 - 2, 1 << 20}
+	for _, k := range keys {
+		if b.Get(k) {
+			t.Fatalf("key %d present in empty set", k)
+		}
+		if !b.Set(k) {
+			t.Fatalf("Set(%d) not fresh on first insert", k)
+		}
+		if b.Set(k) {
+			t.Fatalf("Set(%d) fresh on second insert", k)
+		}
+		if !b.Get(k) {
+			t.Fatalf("key %d absent after Set", k)
+		}
+	}
+	if b.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(keys))
+	}
+	var got []uint32
+	b.Range(func(k uint32) { got = append(got, k) })
+	if len(got) != len(keys) {
+		t.Fatalf("Range yielded %d keys, want %d", len(got), len(keys))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("Range out of order: %v", got)
+		}
+	}
+	b.Unset(keys[0])
+	if b.Get(keys[0]) || b.Len() != len(keys)-1 {
+		t.Fatalf("Unset did not remove key")
+	}
+	b.Unset(keys[0]) // second Unset is a no-op
+	if b.Len() != len(keys)-1 {
+		t.Fatalf("double Unset changed Len")
+	}
+}
+
+func TestBitsClearIsEmptyAndReusable(t *testing.T) {
+	b := NewBits()
+	for k := uint32(0); k < 2*chunkSlots*2; k += 2 {
+		b.Set(k)
+	}
+	chunksBefore := b.Stats().Chunks
+	b.Clear()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", b.Len())
+	}
+	for k := uint32(0); k < 2*chunkSlots*2; k += 2 {
+		if b.Get(k) {
+			t.Fatalf("key %d survived Clear", k)
+		}
+	}
+	// Steady-state reuse materializes no new chunks.
+	for k := uint32(0); k < 2*chunkSlots*2; k += 2 {
+		if !b.Set(k) {
+			t.Fatalf("Set(%d) not fresh after Clear", k)
+		}
+	}
+	if got := b.Stats().Chunks; got != chunksBefore {
+		t.Fatalf("chunks grew across Clear: %d -> %d", chunksBefore, got)
+	}
+}
+
+func TestBitsEpochRollover(t *testing.T) {
+	b := NewBits()
+	b.Set(2)
+	b.epoch = ^uint32(0) // force the next Clear to wrap
+	// The entry's old stamp must not alias the post-rollover epoch.
+	b.chunks[0][1] = 1 // stamp as if set at epoch 1 long ago
+	b.count = 1
+	b.Clear()
+	if b.epoch != 1 {
+		t.Fatalf("epoch after rollover = %d, want 1", b.epoch)
+	}
+	if b.Get(2) {
+		t.Fatalf("stale stamp visible after rollover")
+	}
+	if b.Stats().Rollovers != 1 {
+		t.Fatalf("Rollovers = %d, want 1", b.Stats().Rollovers)
+	}
+	b.Set(2)
+	if !b.Get(2) {
+		t.Fatalf("Set after rollover lost")
+	}
+}
+
+func TestTableBasics(t *testing.T) {
+	tab := NewTable[int32]()
+	if _, ok := tab.Get(4); ok {
+		t.Fatalf("empty table has key")
+	}
+	tab.Set(4, 7)
+	tab.Set(4, 9) // replace
+	tab.Set(chunkSlots*2+4, 11)
+	if v, ok := tab.Get(4); !ok || v != 9 {
+		t.Fatalf("Get(4) = %d,%v want 9,true", v, ok)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+	tab.Delete(4)
+	if _, ok := tab.Get(4); ok || tab.Len() != 1 {
+		t.Fatalf("Delete(4) left the entry")
+	}
+	tab.Clear()
+	if tab.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", tab.Len())
+	}
+	if _, ok := tab.Get(chunkSlots*2 + 4); ok {
+		t.Fatalf("entry survived Clear")
+	}
+}
+
+func TestTableRangeDeleteDuringWalk(t *testing.T) {
+	tab := NewTable[uint32]()
+	for k := uint32(0); k < 64; k += 2 {
+		tab.Set(k, k+1)
+	}
+	tab.Range(func(k, v uint32) bool {
+		if v != k+1 {
+			t.Fatalf("value mismatch at %d: %d", k, v)
+		}
+		if k%4 == 0 {
+			tab.Delete(k)
+		}
+		return true
+	})
+	if tab.Len() != 16 {
+		t.Fatalf("Len after walk-delete = %d, want 16", tab.Len())
+	}
+}
+
+func TestEpoch32(t *testing.T) {
+	e := NewEpoch32()
+	if _, ok := e.Get(2); ok {
+		t.Fatalf("empty Epoch32 has key")
+	}
+	e.Set(2, 5)
+	e.Set(2, 6)
+	e.Set(chunkSlots*2+8, 1)
+	if v, ok := e.Get(2); !ok || v != 6 {
+		t.Fatalf("Get(2) = %d,%v", v, ok)
+	}
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	e.Delete(2)
+	if _, ok := e.Get(2); ok || e.Len() != 1 {
+		t.Fatalf("Delete left entry")
+	}
+	sum := uint32(0)
+	e.Range(func(k, v uint32) bool { sum += v; return true })
+	if sum != 1 {
+		t.Fatalf("Range sum = %d", sum)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Set(0) did not panic")
+		}
+	}()
+	e.Set(4, 0)
+}
+
+func TestShardedBits(t *testing.T) {
+	ranges := [][2]uint32{{2, 1000}, {1000, 2000}, {2000, 4000}}
+	s := NewShardedBits(ranges)
+	keys := []uint32{2, 998, 1000, 1998, 2000, 3998}
+	for _, k := range keys {
+		if !s.Set(k) {
+			t.Fatalf("Set(%d) not fresh", k)
+		}
+	}
+	if s.Len() != len(keys) {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for _, k := range keys {
+		if !s.Get(k) {
+			t.Fatalf("Get(%d) = false", k)
+		}
+	}
+	// Out-of-range keys are inert.
+	if s.Set(4002) || s.Get(4002) {
+		t.Fatalf("out-of-range key accepted")
+	}
+	s.Unset(998)
+	if s.Get(998) || s.Len() != len(keys)-1 {
+		t.Fatalf("Unset failed")
+	}
+	s.Clear()
+	if s.Len() != 0 || s.Get(2) {
+		t.Fatalf("Clear failed")
+	}
+	if s.Stats().Chunks == 0 {
+		t.Fatalf("no chunks counted")
+	}
+}
+
+func TestShardedBitsShardIsolation(t *testing.T) {
+	// Adjacent keys on either side of a zone boundary must land in
+	// different shards' chunk storage.
+	s := NewShardedBits([][2]uint32{{2, 8192}, {8192, 16384}})
+	s.Set(8190)
+	s.Set(8192)
+	a := s.shards[0].bits.Stats()
+	b := s.shards[1].bits.Stats()
+	if a.Chunks == 0 || b.Chunks == 0 {
+		t.Fatalf("boundary keys shared a shard: %+v %+v", a, b)
+	}
+}

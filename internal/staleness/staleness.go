@@ -12,12 +12,21 @@
 // idle past the threshold — a list that famously includes cold-but-needed
 // data (false positives), which the contrast tests demonstrate against the
 // assertion-based diagnosis of the same heap.
+//
+// Touch is the profiler's hot path — it runs on every recorded access —
+// so the last-access table is a dense arena-indexed side table
+// (internal/sidetab): an array store per Touch instead of a map write,
+// and an Advance that reuses one scratch table instead of rebuilding a
+// live map per collection (zero steady-state allocation). NewMapBacked
+// keeps the original map implementation as the differential and benchmark
+// baseline.
 package staleness
 
 import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/sidetab"
 )
 
 // Tracker tracks last-access epochs per live object.
@@ -27,13 +36,42 @@ type Tracker struct {
 	Threshold uint64
 
 	epoch uint64
-	// last[r] is the epoch of r's most recent access (or its first
-	// sighting, for objects never touched).
+
+	// Dense form: tab[r] = last-access epoch + 1 (the +1 bias keeps
+	// epoch 0 representable; 0 means untracked). Stamps are uint32, so
+	// the tracker supports 2^32-2 Advances — epochs beyond that would
+	// alias. scratch is the per-Advance live set, cleared by epoch bump.
+	tab     *sidetab.Epoch32
+	scratch *sidetab.Bits
+
+	// advRT caches the runtime the stamp closure is bound to, so
+	// steady-state Advances reuse one closure and allocate nothing.
+	advRT   *core.Runtime
+	stampFn func(core.Ref)
+	pruneFn func(uint32, uint32) bool
+
+	// Map-backed reference form (NewMapBacked): last[r] is the epoch of
+	// r's most recent access (or its first sighting, for objects never
+	// touched). nil in dense mode.
 	last map[core.Ref]uint64
 }
 
-// New creates a tracker.
+// New creates a tracker backed by dense side tables.
 func New(threshold uint64) *Tracker {
+	if threshold == 0 {
+		threshold = 3
+	}
+	return &Tracker{
+		Threshold: threshold,
+		tab:       sidetab.NewEpoch32(),
+		scratch:   sidetab.NewBits(),
+	}
+}
+
+// NewMapBacked creates a tracker using the original map[Ref]
+// implementation — the reference the sidetab differential tests compare
+// against and the assertbench "before" baseline.
+func NewMapBacked(threshold uint64) *Tracker {
 	if threshold == 0 {
 		threshold = 3
 	}
@@ -46,27 +84,55 @@ func (t *Tracker) Touch(r core.Ref) {
 	if r == core.Nil {
 		return
 	}
-	t.last[r] = t.epoch
+	if t.last != nil {
+		t.last[r] = t.epoch
+		return
+	}
+	t.tab.Set(uint32(r), uint32(t.epoch)+1)
 }
 
 // Advance ages the tracker by one collection: call it right after a full
 // GC. Reclaimed objects leave the table (their refs may be recycled);
 // never-seen live objects enter it with the current epoch as their
-// baseline.
+// baseline. The dense form does one heap walk into a reusable scratch
+// table and prunes against it — after the first call for a runtime it
+// allocates nothing (the steady-state assertion in its test pins this).
 func (t *Tracker) Advance(rt *core.Runtime) {
 	t.epoch++
-	live := map[core.Ref]bool{}
-	rt.Objects(func(r core.Ref) { live[r] = true })
-	for r := range t.last {
-		if !live[r] {
-			delete(t.last, r)
+	if t.last != nil {
+		live := map[core.Ref]bool{}
+		rt.Objects(func(r core.Ref) { live[r] = true })
+		for r := range t.last {
+			if !live[r] {
+				delete(t.last, r)
+			}
+		}
+		for r := range live {
+			if _, ok := t.last[r]; !ok {
+				t.last[r] = t.epoch
+			}
+		}
+		return
+	}
+
+	t.scratch.Clear()
+	if t.advRT != rt || t.stampFn == nil {
+		t.advRT = rt
+		t.stampFn = func(r core.Ref) {
+			t.scratch.Set(uint32(r))
+			if _, ok := t.tab.Get(uint32(r)); !ok {
+				t.tab.Set(uint32(r), uint32(t.epoch)+1)
+			}
+		}
+		t.pruneFn = func(key, _ uint32) bool {
+			if !t.scratch.Get(key) {
+				t.tab.Delete(key)
+			}
+			return true
 		}
 	}
-	for r := range live {
-		if _, ok := t.last[r]; !ok {
-			t.last[r] = t.epoch
-		}
-	}
+	rt.Objects(t.stampFn)
+	t.tab.Range(t.pruneFn)
 }
 
 // StaleObject is one suspect.
@@ -81,7 +147,7 @@ type StaleObject struct {
 // perfectly live data lands here too.
 func (t *Tracker) Stale(rt *core.Runtime) []StaleObject {
 	var out []StaleObject
-	for r, last := range t.last {
+	add := func(r core.Ref, last uint64) {
 		idle := t.epoch - last
 		if idle >= t.Threshold {
 			out = append(out, StaleObject{
@@ -90,6 +156,16 @@ func (t *Tracker) Stale(rt *core.Runtime) []StaleObject {
 				IdleEpochs: idle,
 			})
 		}
+	}
+	if t.last != nil {
+		for r, last := range t.last {
+			add(r, last)
+		}
+	} else {
+		t.tab.Range(func(key, v uint32) bool {
+			add(core.Ref(key), uint64(v)-1)
+			return true
+		})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].IdleEpochs != out[j].IdleEpochs {
@@ -101,4 +177,9 @@ func (t *Tracker) Stale(rt *core.Runtime) []StaleObject {
 }
 
 // Tracked returns the current table size (tools and tests).
-func (t *Tracker) Tracked() int { return len(t.last) }
+func (t *Tracker) Tracked() int {
+	if t.last != nil {
+		return len(t.last)
+	}
+	return t.tab.Len()
+}

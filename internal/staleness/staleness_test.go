@@ -1,6 +1,9 @@
 package staleness
 
 import (
+	"fmt"
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -197,5 +200,165 @@ func TestContrastWithOwnershipAssertions(t *testing.T) {
 		if !unowned[entries[i]] {
 			t.Errorf("leaked entry %d not flagged by ownership", i)
 		}
+	}
+}
+
+// TestAdvanceSteadyStateAllocs pins the side-table conversion's allocation
+// contract: after the first Advance binds the tracker's closures to a
+// runtime and materializes its scratch chunks, further Advances allocate
+// nothing — the old implementation rebuilt a map[Ref]bool of every live
+// object per collection.
+func TestAdvanceSteadyStateAllocs(t *testing.T) {
+	w := newCacheWorld(t)
+	tr := New(3)
+	for _, e := range w.hot {
+		tr.Touch(e)
+	}
+	// Warm up: bind closures, materialize chunks, settle the heap.
+	for i := 0; i < 3; i++ {
+		if err := w.rt.GC(); err != nil {
+			t.Fatal(err)
+		}
+		tr.Advance(w.rt)
+	}
+	allocs := testing.AllocsPerRun(20, func() { tr.Advance(w.rt) })
+	if allocs != 0 {
+		t.Fatalf("steady-state Advance allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestStalenessSideTabDifferential runs one deterministic access script
+// against two trackers — dense side tables and the map-backed reference —
+// over identically-driven runtimes across the four collector modes and
+// three seeds, and requires identical suspect lists (refs, classes, idle
+// epochs, order) and table sizes after every Advance.
+func TestStalenessSideTabDifferential(t *testing.T) {
+	modes := []struct {
+		name string
+		cfg  func() core.Config
+	}{
+		{"serial", func() core.Config {
+			return core.Config{HeapWords: 1 << 14, Mode: core.Infrastructure}
+		}},
+		{"parsweep", func() core.Config {
+			return core.Config{HeapWords: 1 << 14, Mode: core.Infrastructure, SweepWorkers: 4}
+		}},
+		{"lazysweep", func() core.Config {
+			return core.Config{HeapWords: 1 << 14, Mode: core.Infrastructure, LazySweep: true}
+		}},
+		{"concurrent", func() core.Config {
+			return core.Config{
+				HeapWords: 1 << 14, Mode: core.Infrastructure,
+				ConcurrentGC: true, GCTriggerFraction: 0.4, GCAssistSlack: 0.5,
+				AllocBuffers: 128,
+			}
+		}},
+	}
+	for _, mode := range modes {
+		for seed := int64(1); seed <= 3; seed++ {
+			mode, seed := mode, seed
+			t.Run(fmt.Sprintf("%s_seed%d", mode.name, seed), func(t *testing.T) {
+				runStalenessDifferential(t, mode.cfg, seed)
+			})
+		}
+	}
+}
+
+// stalenessWorld is one runtime plus a tracker, driven by the script in
+// runStalenessDifferential. Both worlds make identical allocation and
+// mutation sequences, so refs correspond one to one.
+type stalenessWorld struct {
+	rt    *core.Runtime
+	th    *core.Thread
+	entry *core.Class
+	arr   core.Ref
+	objs  []core.Ref
+	tr    *Tracker
+}
+
+func newStalenessWorld(t *testing.T, cfg core.Config, tr *Tracker) *stalenessWorld {
+	t.Helper()
+	rt := core.New(cfg)
+	w := &stalenessWorld{rt: rt, th: rt.MainThread(), tr: tr}
+	w.entry = rt.DefineClass("Entry", core.DataField("v"))
+	w.arr = w.th.NewRefArray(64)
+	rt.AddGlobal("world").Set(w.arr)
+	return w
+}
+
+func runStalenessDifferential(t *testing.T, cfg func() core.Config, seed int64) {
+	dense := newStalenessWorld(t, cfg(), New(2))
+	ref := newStalenessWorld(t, cfg(), NewMapBacked(2))
+	worlds := []*stalenessWorld{dense, ref}
+
+	rng := rand.New(rand.NewSource(seed))
+	for step := 0; step < 400; step++ {
+		op, slot := rng.Intn(100), rng.Intn(64)
+		for _, w := range worlds {
+			switch {
+			case op < 35: // allocate into a slot
+				e := w.th.New(w.entry)
+				w.rt.ArrSetRef(w.arr, slot, e)
+				w.objs = append(w.objs, e)
+			case op < 55: // touch a slot's object
+				if r := w.rt.ArrGetRef(w.arr, slot); r != core.Nil {
+					w.tr.Touch(r)
+				}
+			case op < 70: // drop a slot
+				w.rt.ArrSetRef(w.arr, slot, core.Nil)
+			case op < 90: // no-op mutator churn
+				w.th.NewDataArray(1 + op%8)
+			default: // collect + advance
+				if err := w.rt.GC(); err != nil {
+					t.Fatalf("GC: %v", err)
+				}
+				w.tr.Advance(w.rt)
+			}
+		}
+		if op >= 90 {
+			compareStaleness(t, step, dense, ref)
+		}
+	}
+	// Final settle: both worlds quiesce, advance past threshold, compare.
+	for _, w := range worlds {
+		if err := w.rt.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := w.rt.GC(); err != nil {
+				t.Fatalf("GC: %v", err)
+			}
+			w.tr.Advance(w.rt)
+		}
+	}
+	compareStaleness(t, -1, dense, ref)
+}
+
+// compareStaleness requires the two worlds' suspect lists to agree by
+// script identity (slice index of the allocation), class, and idle count —
+// refs differ between runtimes only if allocation order diverged, which is
+// itself a failure.
+func compareStaleness(t *testing.T, step int, dense, ref *stalenessWorld) {
+	t.Helper()
+	if got, want := dense.tr.Tracked(), ref.tr.Tracked(); got != want {
+		t.Fatalf("step %d: Tracked: dense %d, map %d", step, got, want)
+	}
+	render := func(w *stalenessWorld) []string {
+		id := make(map[core.Ref]int, len(w.objs))
+		for i, r := range w.objs {
+			id[r] = i
+		}
+		var out []string
+		for _, s := range w.tr.Stale(w.rt) {
+			n, ok := id[s.Ref]
+			if !ok {
+				n = -1
+			}
+			out = append(out, fmt.Sprintf("%d:%s:%d", n, s.Class, s.IdleEpochs))
+		}
+		return out
+	}
+	if got, want := render(dense), render(ref); !reflect.DeepEqual(got, want) {
+		t.Fatalf("step %d: suspect lists differ\ndense: %v\nmap:   %v", step, got, want)
 	}
 }

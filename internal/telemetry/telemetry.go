@@ -188,6 +188,12 @@ type Recorder struct {
 	writeErrs uint64 // report-writer failures (CountWriteError)
 	sinkErrs  uint64
 
+	// Dense side-table footprint gauges (internal/sidetab), refreshed by
+	// the runtime at snapshot time: materialized chunk bytes and lifetime
+	// epoch rollovers across the assertion engine's tables.
+	sideTabBytes uint64
+	sideTabRolls uint64
+
 	sink    io.Writer
 	scratch []byte // reusable NDJSON line buffer
 }
@@ -352,6 +358,20 @@ func (r *Recorder) Violation(code uint8, name string) {
 	r.mu.Unlock()
 }
 
+// SideTab sets the dense side-table footprint gauges: current bytes of
+// materialized chunk storage and lifetime epoch rollovers. Gauges, not
+// ring events — footprint changes on chunk materialization, far below the
+// event cadence, so the runtime refreshes them when a snapshot is taken.
+func (r *Recorder) SideTab(chunkBytes, rollovers uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sideTabBytes = chunkBytes
+	r.sideTabRolls = rollovers
+	r.mu.Unlock()
+}
+
 // CountWriteError counts one failed violation/event log write (the report
 // package's writers call this through their OnWriteError hook), so a full
 // disk that is silently dropping violations shows up in the counters.
@@ -448,6 +468,12 @@ type Metrics struct {
 	Violations       uint64           `json:"violations"`
 	ViolationsByKind []ViolationCount `json:"violations_by_kind,omitempty"`
 
+	// Dense side-table footprint (internal/sidetab): materialized chunk
+	// bytes across the assertion engine's tables (a gauge) and lifetime
+	// epoch rollovers. Zero without assertions or in map-table mode.
+	SideTabChunkBytes uint64 `json:"sidetab_chunk_bytes"`
+	SideTabRollovers  uint64 `json:"sidetab_rollovers"`
+
 	ReportWriteErrors uint64 `json:"report_write_errors"`
 	SinkErrors        uint64 `json:"sink_errors"`
 }
@@ -473,6 +499,8 @@ func (r *Recorder) Metrics() Metrics {
 		Assists:           r.assists,
 		AssistSlices:      r.assistSlices,
 		Violations:        r.violations,
+		SideTabChunkBytes: r.sideTabBytes,
+		SideTabRollovers:  r.sideTabRolls,
 		ReportWriteErrors: r.writeErrs,
 		SinkErrors:        r.sinkErrs,
 	}

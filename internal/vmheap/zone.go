@@ -61,6 +61,23 @@ func (h *Heap) Peers() []*Heap { return h.peers }
 // ZoneRange returns the half-open word range [lo, hi) this zone owns.
 func (h *Heap) ZoneRange() (lo, hi uint32) { return h.lo, h.hi }
 
+// ZoneRanges returns every zone's [lo, hi) word range in ascending address
+// order — a single element for an unzoned arena. Together the ranges cover
+// every Ref the arena can produce; side tables (internal/sidetab) shard
+// along them so concurrent zone collections index disjoint chunks.
+func (h *Heap) ZoneRanges() [][2]uint32 {
+	out := make([][2]uint32, len(h.peers))
+	for i, p := range h.peers {
+		out[i] = [2]uint32{p.lo, p.hi}
+	}
+	return out
+}
+
+// ArenaWords returns the arena extent in words including the reserved
+// base: an exclusive upper bound on every Ref (side tables size their slot
+// space by it).
+func (h *Heap) ArenaWords() uint32 { return uint32(len(h.words)) }
+
 // Contains reports whether r falls inside this zone's range.
 func (h *Heap) Contains(r Ref) bool { return uint32(r) >= h.lo && uint32(r) < h.hi }
 
