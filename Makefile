@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench sweepbench allocbench telemetrybench pausebench zonebench tracebench parzonebench assertbench difftest fuzz figures casestudies verify
+.PHONY: all build test race bench sweepbench allocbench telemetrybench pausebench zonebench tracebench parzonebench assertbench slobench difftest fuzz figures casestudies verify
 
 all: build test
 
@@ -67,6 +67,20 @@ parzonebench:
 assertbench:
 	go test -run '^$$' -bench BenchmarkAssertTrace -benchtime 3000x -benchmem ./internal/harness | tee results/assert_overhead.txt
 	go test -run '^$$' -bench BenchmarkStaleness -benchmem ./internal/harness | tee -a results/assert_overhead.txt
+
+# Serving SLO sweep: the minidb server under open-loop load over loopback
+# HTTP, swept across request rates and collector configs, with per-cell
+# p50/p95/p99 request latency from the offline summary of each cell's
+# NDJSON stream — the same file `gcmon -follow` reads live. The heap is
+# sized so collections actually fire under the load and land in the tails.
+# The gate requires aggregate p99 at the -slo-rps rate within the -slo-p99
+# budget (see results/serving_slo.txt). The zoned config needs a heap at
+# least 4x this (the database initializes into one zone):
+#   go run ./cmd/minidbd -selfdrive -gc zones -heapwords 262144 ...
+slobench:
+	go run ./cmd/minidbd -selfdrive -gc stw,concurrent -rates 500,1000 \
+		-duration 4s -heapwords 65536 -entries 1000 \
+		-slo-rps 500 -slo-p99 50ms | tee results/serving_slo.txt
 
 # Differential tests: serial vs parallel collections on identical scripts,
 # stop-the-world vs incremental cycles (plus the shadow-model oracle), eager

@@ -8,17 +8,19 @@
 //	gcmon -follow -interval 500ms events.ndjson
 //
 // In -follow mode gcmon polls the file and reprints the cumulative summary
-// whenever new events arrive; a truncated file (a restarted run) resets the
-// tail. Interrupt to stop. The counts printed are exactly the counts in the
-// stream: one line per event, no sampling.
+// whenever new events arrive; a truncated or rotated file (a restarted run)
+// resets the tail, a transiently missing file is waited out, and a
+// malformed line is skipped (and counted in the header) rather than killing
+// the tail. Interrupt to stop. The counts printed are exactly the counts in
+// the stream: one line per event, no sampling.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strings"
 	"time"
 
 	"repro/internal/telemetry"
@@ -85,74 +87,117 @@ func summarizeOnce(w io.Writer, path string) error {
 
 // tailState incrementally consumes an NDJSON stream across polls: complete
 // lines are decoded as they appear; a partial final line is held back until
-// its remainder is written.
+// its remainder is written. A malformed line does not kill the tail — the
+// decoder resyncs at the next newline and counts the line as skipped (the
+// header reports the tally), because in follow mode one torn write from a
+// dying producer must not take the ops view down with it.
 type tailState struct {
 	events  []telemetry.FileEvent
 	pending []byte
 	offset  int64
+	skipped int // malformed lines dropped since the last reset
 }
 
 // consume decodes the complete lines in buf (possibly prefixed by a held
-// partial line) and returns how many new events appeared.
-func (t *tailState) consume(buf []byte) (int, error) {
-	data := append(t.pending, buf...)
+// partial line) and returns how many new events appeared. Scanning is a
+// bytes.IndexByte walk over one buffer — no per-probe string conversion,
+// so a large backlog costs one pass, not a quadratic re-scan.
+func (t *tailState) consume(buf []byte) int {
+	t.pending = append(t.pending, buf...)
+	data := t.pending
 	added := 0
 	for {
-		nl := strings.IndexByte(string(data), '\n')
+		nl := bytes.IndexByte(data, '\n')
 		if nl < 0 {
 			break
 		}
-		line := strings.TrimSpace(string(data[:nl]))
+		line := bytes.TrimSpace(data[:nl])
 		data = data[nl+1:]
-		if line == "" {
+		if len(line) == 0 {
 			continue
 		}
-		evs, err := telemetry.ReadEvents(strings.NewReader(line))
+		evs, err := telemetry.ReadEvents(bytes.NewReader(line))
 		if err != nil {
-			return added, err
+			t.skipped++
+			continue
 		}
 		t.events = append(t.events, evs...)
 		added += len(evs)
 	}
-	t.pending = data
-	return added, nil
+	// Keep only the partial tail; copy down so the buffer does not grow
+	// without bound across polls.
+	t.pending = append(t.pending[:0], data...)
+	return added
+}
+
+// poll reads whatever the file has grown by since the last poll into the
+// tail. reset reports that the file shrank below the consumed offset —
+// truncation, or rotation to a fresh (smaller) file — in which case the
+// tail restarted from the beginning of the new content. An error is a
+// transient file-system condition (the file mid-rotation, a producer not
+// yet restarted); the caller retries on the next interval.
+func (t *tailState) poll(path string) (added int, reset bool, err error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, false, err
+	}
+	if fi.Size() < t.offset {
+		// Truncated or rotated: the producer restarted. Start over.
+		*t = tailState{}
+		reset = true
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, reset, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(t.offset, io.SeekStart); err != nil {
+		return 0, reset, err
+	}
+	buf, err := io.ReadAll(f)
+	if err != nil {
+		return 0, reset, err
+	}
+	t.offset += int64(len(buf))
+	return t.consume(buf), reset, nil
 }
 
 // followFile polls path forever, reprinting the cumulative summary whenever
-// new events arrive. Truncation (a restarted producer) resets the tail.
+// new events arrive. Truncation and rotation (a restarted producer) reset
+// the tail; a transient stat/open failure — exactly what a log rotation
+// looks like mid-swap — is waited out, not fatal.
 func followFile(w io.Writer, path string, interval time.Duration) error {
 	var st tailState
-	first := true
+	printed := false
+	waiting := ""
 	for {
-		fi, err := os.Stat(path)
-		if err == nil && fi.Size() < st.offset {
-			// Truncated: the producer restarted. Start over.
-			st = tailState{}
-			first = true
-		}
-		f, err := os.Open(path)
+		added, reset, err := st.poll(path)
 		if err != nil {
-			return err
+			if msg := err.Error(); msg != waiting {
+				fmt.Fprintf(w, "-- waiting for %s: %v --\n", path, err)
+				waiting = msg
+			}
+			time.Sleep(interval)
+			continue
 		}
-		if _, err := f.Seek(st.offset, io.SeekStart); err != nil {
-			f.Close()
-			return err
+		waiting = ""
+		if reset {
+			printed = false
 		}
-		buf, err := io.ReadAll(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		st.offset += int64(len(buf))
-		added, err := st.consume(buf)
-		if err != nil {
-			return err
-		}
-		if added > 0 || first {
-			fmt.Fprintf(w, "-- %s (%d events) --\n", time.Now().Format(time.TimeOnly), len(st.events))
+		if added > 0 || !printed {
+			fmt.Fprintf(w, "-- %s (%d events%s) --\n",
+				time.Now().Format(time.TimeOnly), len(st.events), skippedNote(st.skipped))
 			io.WriteString(w, telemetry.Summarize(st.events).Format())
-			first = false
+			printed = true
 		}
 		time.Sleep(interval)
 	}
+}
+
+// skippedNote renders the malformed-line tally for the follow header.
+func skippedNote(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return fmt.Sprintf(", %d malformed lines skipped", n)
 }

@@ -135,8 +135,15 @@ func (d *Database) rand(n int) int {
 
 // Add inserts a fresh Entry; with AssertOwnership it is asserted owned by
 // the Database object.
-func (d *Database) Add() {
-	rt, th := d.rt, d.th
+func (d *Database) Add() { d.AddOn(d.th) }
+
+// AddOn is Add allocating on the given thread — the serving path, where
+// each worker owns a buffered mutator thread. Database operations are not
+// internally synchronized: callers running ops from more than one
+// goroutine (minidb.Server) must serialize structural mutations
+// themselves; the thread argument only moves the allocations.
+func (d *Database) AddOn(th *core.Thread) {
+	rt := d.rt
 	f := th.PushFrame(2)
 	defer th.PopFrame()
 
@@ -166,8 +173,11 @@ func (d *Database) Add() {
 // the list and the `current` instance variable is assigned null, at which
 // point the paper places assert-dead. Under LeakCache the removed entry is
 // also retained in the side cache (the defect).
-func (d *Database) Remove() {
-	rt, th := d.rt, d.th
+func (d *Database) Remove() { d.RemoveOn(d.th) }
+
+// RemoveOn is Remove allocating on the given thread (see AddOn).
+func (d *Database) RemoveOn(th *core.Thread) {
+	rt := d.rt
 	entries := rt.GetRef(d.db.Get(), d.dEntries)
 	n := d.kit.ListLen(entries)
 	if n == 0 {
@@ -226,8 +236,12 @@ func (d *Database) Scan() uint64 {
 // Sort builds a transient index of the database ordered by key — the
 // original's sort operation, and the main source of allocation in the
 // read-heavy mix (a fresh scratch array per sort).
-func (d *Database) Sort() core.Ref {
-	rt, th := d.rt, d.th
+func (d *Database) Sort() core.Ref { return d.SortOn(d.th) }
+
+// SortOn is Sort allocating its scratch index on the given thread (see
+// AddOn).
+func (d *Database) SortOn(th *core.Thread) core.Ref {
+	rt := d.rt
 	entries := rt.GetRef(d.db.Get(), d.dEntries)
 	n := d.kit.ListLen(entries)
 	f := th.PushFrame(1)

@@ -1,0 +1,191 @@
+package minidb
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/telemetry"
+)
+
+func testServer(t *testing.T, cfg ServerConfig, coreCfg core.Config) (*core.Runtime, *Server) {
+	t.Helper()
+	if coreCfg.HeapWords == 0 {
+		coreCfg.HeapWords = 1 << 17
+	}
+	if coreCfg.Mode == 0 {
+		coreCfg.Mode = core.Infrastructure
+	}
+	rt := core.New(coreCfg)
+	if cfg.DB.Entries == 0 {
+		cfg.DB.Entries = 200
+	}
+	srv := NewServer(rt, cfg)
+	t.Cleanup(func() {
+		srv.Close()
+		if err := rt.Close(); err != nil {
+			t.Errorf("runtime close: %v", err)
+		}
+	})
+	return rt, srv
+}
+
+// TestServerServesConcurrently drives every op from several client
+// goroutines through a buffered-thread worker pool and checks the
+// responses, the counters, and that the telemetry request spans agree with
+// the served totals.
+func TestServerServesConcurrently(t *testing.T) {
+	rt, srv := testServer(t,
+		ServerConfig{Workers: 3, SessionCap: 4, SessionItems: 3},
+		core.Config{Telemetry: &telemetry.Config{}, AllocBuffers: 512})
+
+	const clients, perClient = 4, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				op := Op(i % int(NumOps))
+				if _, err := srv.Do(op, seed*perClient+int64(i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(c))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := srv.Stats()
+	if got := st.Total(); got != clients*perClient {
+		t.Errorf("served %d requests, want %d (stats %+v)", got, clients*perClient, st)
+	}
+	if st.Failed != 0 {
+		t.Errorf("failed = %d, want 0", st.Failed)
+	}
+	adds, removes := st.Served[OpAdd], st.Served[OpRemove]
+	if want := 200 + int(adds) - int(removes); srv.Database().Len() != want {
+		t.Errorf("db len = %d, want %d (adds %d removes %d)", srv.Database().Len(), want, adds, removes)
+	}
+	m := rt.Metrics()
+	if m.RequestCount != clients*perClient {
+		t.Errorf("telemetry recorded %d request spans, want %d", m.RequestCount, clients*perClient)
+	}
+	byOp := map[string]uint64{}
+	for _, r := range m.Requests {
+		byOp[r.Phase] = r.Count
+	}
+	for op := Op(0); op < NumOps; op++ {
+		if byOp[op.String()] != st.Served[op] {
+			t.Errorf("telemetry op %s count %d != served %d", op, byOp[op.String()], st.Served[op])
+		}
+	}
+}
+
+// TestServerFindScan pins the read ops' payloads.
+func TestServerFindScan(t *testing.T) {
+	_, srv := testServer(t, ServerConfig{Workers: 1}, core.Config{})
+	resp, err := srv.Do(OpFind, 5)
+	if err != nil || !resp.Found {
+		t.Errorf("find(5) = %+v, %v; want found", resp, err)
+	}
+	resp, err = srv.Do(OpFind, 1<<40)
+	if err != nil || resp.Found {
+		t.Errorf("find(absent) = %+v, %v; want not found", resp, err)
+	}
+	resp, err = srv.Do(OpScan, 0)
+	if err != nil || resp.Sum == 0 {
+		t.Errorf("scan = %+v, %v; want nonzero sum", resp, err)
+	}
+}
+
+// TestSessionLeakCaughtByAssertDead is the injectable-defect acceptance
+// test: with LeakCache the expired-session assert-dead fires on the next
+// collection; without it the same traffic is violation-free.
+func TestSessionLeakCaughtByAssertDead(t *testing.T) {
+	for _, leak := range []bool{false, true} {
+		cfg := ServerConfig{
+			Workers:            2,
+			SessionCap:         4,
+			SessionItems:       2,
+			AssertDeadSessions: true,
+			DB:                 Config{Entries: 50, LeakCache: leak},
+		}
+		rt, srv := testServer(t, cfg, core.Config{
+			Handler: report.HandlerFunc(func(*report.Violation) report.Action { return report.Continue }),
+		})
+		for i := 0; i < 40; i++ {
+			if _, err := srv.Do(OpSession, 0); err != nil {
+				t.Fatalf("leak=%v: session %d: %v", leak, i, err)
+			}
+		}
+		if st := srv.Stats(); st.Expired == 0 {
+			t.Fatalf("leak=%v: no sessions expired (cap %d, stats %+v)", leak, cfg.SessionCap, st)
+		}
+		if err := rt.GC(); err != nil {
+			t.Fatalf("leak=%v: GC: %v", leak, err)
+		}
+		violations := rt.Violations()
+		if leak && len(violations) == 0 {
+			t.Error("leak=true: assert-dead caught nothing")
+		}
+		if !leak && len(violations) != 0 {
+			t.Errorf("leak=false: unexpected violations: %v", violations[0])
+		}
+		for _, v := range violations {
+			if !strings.Contains(v.Kind.String(), "dead") {
+				t.Errorf("unexpected violation kind %s", v.Kind)
+			}
+		}
+	}
+}
+
+// TestServerUnderConcurrentPacer runs the pool against the background
+// collector: session churn forces cycles while requests are in flight.
+func TestServerUnderConcurrentPacer(t *testing.T) {
+	_, srv := testServer(t,
+		ServerConfig{Workers: 2, SessionCap: 8, SessionItems: 4},
+		core.Config{
+			HeapWords:    1 << 16,
+			ConcurrentGC: true,
+			AllocBuffers: 256,
+			Telemetry:    &telemetry.Config{},
+		})
+	for i := 0; i < 300; i++ {
+		op := OpSession
+		if i%5 == 0 {
+			op = OpAdd
+		}
+		if _, err := srv.Do(op, 0); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if st := srv.Stats(); st.Failed != 0 {
+		t.Errorf("failed = %d, want 0 (stats %+v)", st.Failed, st)
+	}
+}
+
+// TestServerClose pins the shutdown contract.
+func TestServerClose(t *testing.T) {
+	rt := core.New(core.Config{HeapWords: 1 << 16, Mode: core.Infrastructure})
+	srv := NewServer(rt, ServerConfig{Workers: 2, DB: Config{Entries: 20}})
+	if _, err := srv.Do(OpFind, 1); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close() // idempotent
+	if _, err := srv.Do(OpFind, 1); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("Do after Close = %v, want ErrServerClosed", err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -23,6 +23,37 @@ import (
 //	{"seq":5,"ns":200000,"ev":"carve","cycle":1,"words":1024}
 //	{"seq":6,"ns":250000,"ev":"retire","cycle":1,"words":960,"tail":64}
 //	{"seq":7,"ns":300000,"ev":"violation","cycle":2,"kind":"assert-dead"}
+//	{"seq":8,"ns":310000,"ev":"request","cycle":2,"op":"find","dur_ns":41500}
+
+// appendJSONString appends s as a JSON string (quotes included), escaping
+// the characters a JSON string cannot carry raw: quote, backslash, and
+// control bytes. Names on the hot path (phase and kind constants) contain
+// none of these, so the common case is a straight copy; the escaping exists
+// so a custom violation or request-op name can never produce an
+// unparseable stream.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			buf = append(buf, '\\', c)
+		case c == '\n':
+			buf = append(buf, `\n`...)
+		case c == '\t':
+			buf = append(buf, `\t`...)
+		case c == '\r':
+			buf = append(buf, `\r`...)
+		case c < 0x20:
+			buf = append(buf, `\u00`...)
+			const hex = "0123456789abcdef"
+			buf = append(buf, hex[c>>4], hex[c&0xf])
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, '"')
+}
 
 // appendEventJSON renders e as one NDJSON line into buf. Caller holds r.mu.
 func (r *Recorder) appendEventJSON(buf []byte, e *Event) []byte {
@@ -34,9 +65,8 @@ func (r *Recorder) appendEventJSON(buf []byte, e *Event) []byte {
 	buf = append(buf, e.Kind.String()...)
 	buf = append(buf, '"')
 	if e.Kind == KindPhaseBegin || e.Kind == KindPhaseEnd {
-		buf = append(buf, `,"phase":"`...)
-		buf = append(buf, e.Phase.String()...)
-		buf = append(buf, '"')
+		buf = append(buf, `,"phase":`...)
+		buf = appendJSONString(buf, e.Phase.String())
 	}
 	buf = append(buf, `,"cycle":`...)
 	buf = strconv.AppendUint(buf, e.Cycle, 10)
@@ -53,13 +83,12 @@ func (r *Recorder) appendEventJSON(buf []byte, e *Event) []byte {
 		buf = append(buf, `,"tail":`...)
 		buf = strconv.AppendUint(buf, e.Value2, 10)
 	case KindViolation:
-		buf = append(buf, `,"kind":"`...)
+		buf = append(buf, `,"kind":`...)
 		name := r.violationNames[uint8(e.Value)]
 		if name == "" {
 			name = "unknown"
 		}
-		buf = append(buf, name...)
-		buf = append(buf, '"')
+		buf = appendJSONString(buf, name)
 	case KindTrigger:
 		buf = append(buf, `,"used":`...)
 		buf = strconv.AppendUint(buf, e.Value, 10)
@@ -70,6 +99,18 @@ func (r *Recorder) appendEventJSON(buf []byte, e *Event) []byte {
 		buf = strconv.AppendUint(buf, e.Value, 10)
 		buf = append(buf, `,"slices":`...)
 		buf = strconv.AppendUint(buf, e.Value2, 10)
+	case KindRequest:
+		buf = append(buf, `,"op":`...)
+		name := ""
+		if int(e.Value2) < len(r.reqNames) {
+			name = r.reqNames[e.Value2]
+		}
+		if name == "" {
+			name = "unknown"
+		}
+		buf = appendJSONString(buf, name)
+		buf = append(buf, `,"dur_ns":`...)
+		buf = strconv.AppendUint(buf, e.Value, 10)
 	}
 	return append(buf, "}\n"...)
 }
@@ -85,6 +126,7 @@ type FileEvent struct {
 	Words    uint64 `json:"words,omitempty"`
 	Tail     uint64 `json:"tail,omitempty"`
 	Kind     string `json:"kind,omitempty"`
+	Op       string `json:"op,omitempty"`
 	Used     uint64 `json:"used,omitempty"`
 	Trigger  uint64 `json:"trigger,omitempty"`
 	Slices   uint64 `json:"slices,omitempty"`
@@ -143,6 +185,18 @@ type Summary struct {
 	Triggers   uint64
 	Assists    uint64
 	Violations map[string]uint64
+
+	// Requests are request-span tallies per op (first-seen order), plus an
+	// aggregate over every op — the serving workload's latency view, with
+	// the same exact offline quantiles as the phase rows.
+	Requests   []PhaseTally
+	AllRequest PhaseTally
+
+	// OpenPhases counts phase_begin events with no matching phase_end, per
+	// phase name — the signature of a producer that died (or was rotated
+	// away) mid-phase. A healthy completed stream has none; Summarize
+	// surfaces them instead of silently dropping the dangling begins.
+	OpenPhases map[string]uint64
 }
 
 // tally accumulates durations for one phase.
@@ -194,13 +248,18 @@ func (t *tally) finish(name string) PhaseTally {
 func Summarize(events []FileEvent) Summary {
 	s := Summary{Violations: map[string]uint64{}}
 	phases := map[string]*tally{}
-	var pause tally
+	requests := map[string]*tally{}
+	begins := map[string]int64{} // phase_begin minus phase_end, per phase
+	var pause, allReq tally
 	for _, e := range events {
 		s.Events++
 		switch e.Ev {
 		case "cycle_begin":
 			s.Cycles++
+		case "phase_begin":
+			begins[e.Phase]++
 		case "phase_end":
+			begins[e.Phase]--
 			t := phases[e.Phase]
 			if t == nil {
 				t = &tally{order: len(phases)}
@@ -231,6 +290,14 @@ func Summarize(events []FileEvent) Summary {
 			t.observe(e.DurNanos)
 		case "violation":
 			s.Violations[e.Kind]++
+		case "request":
+			t := requests[e.Op]
+			if t == nil {
+				t = &tally{order: len(requests)}
+				requests[e.Op] = t
+			}
+			t.observe(e.DurNanos)
+			allReq.observe(e.DurNanos)
 		}
 	}
 	names := make([]string, 0, len(phases))
@@ -242,6 +309,23 @@ func Summarize(events []FileEvent) Summary {
 		s.Phases = append(s.Phases, phases[name].finish(name))
 	}
 	s.Pause = pause.finish("pause")
+	names = names[:0]
+	for name := range requests {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return requests[names[i]].order < requests[names[j]].order })
+	for _, name := range names {
+		s.Requests = append(s.Requests, requests[name].finish(name))
+	}
+	s.AllRequest = allReq.finish("all")
+	for name, n := range begins {
+		if n > 0 {
+			if s.OpenPhases == nil {
+				s.OpenPhases = map[string]uint64{}
+			}
+			s.OpenPhases[name] = uint64(n)
+		}
+	}
 	return s
 }
 
@@ -277,6 +361,21 @@ func (s Summary) Format() string {
 				fmtNanos(p.P50Nanos), fmtNanos(p.P95Nanos), fmtNanos(p.P99Nanos), fmtNanos(p.MaxNanos))
 		}
 	}
+	if len(s.Requests) > 0 {
+		fmt.Fprintf(&b, "%-14s %8s %10s %10s %10s %10s %10s\n",
+			"request", "count", "total", "p50", "p95", "p99", "max")
+		for _, p := range s.Requests {
+			fmt.Fprintf(&b, "%-14s %8d %10s %10s %10s %10s %10s\n",
+				p.Phase, p.Count, fmtNanos(p.TotalNanos),
+				fmtNanos(p.P50Nanos), fmtNanos(p.P95Nanos), fmtNanos(p.P99Nanos), fmtNanos(p.MaxNanos))
+		}
+		if len(s.Requests) > 1 {
+			p := s.AllRequest
+			fmt.Fprintf(&b, "%-14s %8d %10s %10s %10s %10s %10s\n",
+				"all", p.Count, fmtNanos(p.TotalNanos),
+				fmtNanos(p.P50Nanos), fmtNanos(p.P95Nanos), fmtNanos(p.P99Nanos), fmtNanos(p.MaxNanos))
+		}
+	}
 	if s.Carves > 0 || s.Retires > 0 {
 		fmt.Fprintf(&b, "buffers: %d carved (%d words), %d retired (%d used + %d tail words)\n",
 			s.Carves, s.CarveWords, s.Retires, s.UsedWords, s.TailWords)
@@ -293,6 +392,18 @@ func (s Summary) Format() string {
 		b.WriteString("violations:")
 		for _, k := range kinds {
 			fmt.Fprintf(&b, " %s=%d", k, s.Violations[k])
+		}
+		b.WriteByte('\n')
+	}
+	if len(s.OpenPhases) > 0 {
+		names := make([]string, 0, len(s.OpenPhases))
+		for name := range s.OpenPhases {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		b.WriteString("open phases (begin without end — producer died mid-phase?):")
+		for _, name := range names {
+			fmt.Fprintf(&b, " %s=%d", name, s.OpenPhases[name])
 		}
 		b.WriteByte('\n')
 	}

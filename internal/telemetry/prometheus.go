@@ -32,11 +32,17 @@ func escapeLabel(s string) string {
 }
 
 // phaseSeries emits the five series of one PhaseSummary under a metric
-// family prefix.
+// family prefix, labelled {phase="..."}.
 func (p *promWriter) phaseSeries(prefix, label string, s PhaseSummary) {
+	p.labelledSeries(prefix, "phase", label, s)
+}
+
+// labelledSeries emits the five series of one PhaseSummary under a metric
+// family prefix with one label key/value pair (no label when value is "").
+func (p *promWriter) labelledSeries(prefix, key, label string, s PhaseSummary) {
 	lbl := ""
 	if label != "" {
-		lbl = fmt.Sprintf(`{phase=%q}`, escapeLabel(label))
+		lbl = fmt.Sprintf(`{%s=%q}`, key, escapeLabel(label))
 	}
 	p.printf("%s_count%s %d\n", prefix, lbl, s.Count)
 	p.printf("%s_nanos_total%s %d\n", prefix, lbl, s.TotalNanos)
@@ -86,6 +92,15 @@ func (m Metrics) WritePrometheus(w io.Writer) error {
 	p.printf("gcassert_gc_triggers_total %d\n", m.Triggers)
 	p.printf("gcassert_gc_assists_total %d\n", m.Assists)
 	p.printf("gcassert_gc_assist_slices_total %d\n", m.AssistSlices)
+
+	if m.RequestCount > 0 {
+		p.printf("# HELP gcassert_request_count Served requests by op.\n")
+		p.printf("# TYPE gcassert_request_count counter\n")
+		for _, rq := range m.Requests {
+			p.labelledSeries("gcassert_request", "op", rq.Phase, rq)
+		}
+		p.printf("gcassert_requests_total %d\n", m.RequestCount)
+	}
 
 	p.printf("# HELP gcassert_violations_total Assertion violations delivered.\n")
 	p.printf("# TYPE gcassert_violations_total counter\n")

@@ -111,13 +111,19 @@ const (
 	// KindAssist is one mutator assist (Value = duration in nanoseconds,
 	// Value2 = mark slices performed).
 	KindAssist
+	// KindRequest is one served application request (Value = duration in
+	// nanoseconds, Value2 = the interned op code registered via RequestOp).
+	// This is the serving-workload emit point: request latency lands in the
+	// same stream and histograms as GC phases, so tail latency and pauses
+	// can be correlated line for line.
+	KindRequest
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"cycle_begin", "phase_begin", "phase_end", "pause", "carve", "retire", "violation",
-	"trigger", "assist",
+	"trigger", "assist", "request",
 }
 
 // String returns the kind's wire name.
@@ -184,6 +190,14 @@ type Recorder struct {
 	// NDJSON stream carries readable assertion names without this package
 	// importing the report package (telemetry is a leaf).
 	violationNames [256]string
+
+	// Request-span state: op names are interned up front (RequestOp), so
+	// the per-request emit is one histogram fold and one ring write with no
+	// map lookup. reqHists[i] pairs with reqNames[i].
+	reqNames [MaxRequestOps]string
+	reqHists [MaxRequestOps]Histogram
+	reqOps   int
+	requests uint64
 
 	writeErrs uint64 // report-writer failures (CountWriteError)
 	sinkErrs  uint64
@@ -358,6 +372,53 @@ func (r *Recorder) Violation(code uint8, name string) {
 	r.mu.Unlock()
 }
 
+// MaxRequestOps is the number of distinct request op names a recorder can
+// intern. Serving workloads have a handful of endpoint names; the fixed
+// table keeps the recorder allocation-free and the emit path map-free.
+const MaxRequestOps = 32
+
+// RequestOp interns a request op name and returns its code for Request.
+// Registering the same name twice returns the same code. Names must be
+// plain identifiers at heart — anything is accepted, but the NDJSON
+// encoder escapes what it must, so exotic names cost allocation-free
+// escaping on every emit. Returns -1 when the table is full (or on a nil
+// recorder); Request ignores a negative code, so a producer with too many
+// ops degrades to not recording the excess rather than failing.
+func (r *Recorder) RequestOp(name string) int {
+	if r == nil {
+		return -1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 0; i < r.reqOps; i++ {
+		if r.reqNames[i] == name {
+			return i
+		}
+	}
+	if r.reqOps >= MaxRequestOps {
+		return -1
+	}
+	r.reqNames[r.reqOps] = name
+	r.reqOps++
+	return r.reqOps - 1
+}
+
+// Request records one served request of duration d under an op code from
+// RequestOp, feeding the per-op histogram and the event stream. A negative
+// or unregistered code is ignored.
+func (r *Recorder) Request(op int, d time.Duration) {
+	if r == nil || op < 0 {
+		return
+	}
+	r.mu.Lock()
+	if op < r.reqOps {
+		r.requests++
+		r.reqHists[op].Observe(uint64(d))
+		r.emit(Event{Kind: KindRequest, Cycle: r.cycle, Value: uint64(d), Value2: uint64(op)})
+	}
+	r.mu.Unlock()
+}
+
 // SideTab sets the dense side-table footprint gauges: current bytes of
 // materialized chunk storage and lifetime epoch rollovers. Gauges, not
 // ring events — footprint changes on chunk materialization, far below the
@@ -468,6 +529,13 @@ type Metrics struct {
 	Violations       uint64           `json:"violations"`
 	ViolationsByKind []ViolationCount `json:"violations_by_kind,omitempty"`
 
+	// Request-span summaries, one per registered op that served at least
+	// one request, in registration order. Quantiles are histogram bounds
+	// like every other PhaseSummary; the offline gcmon summary over the
+	// NDJSON stream is the exact-quantile view.
+	Requests     []PhaseSummary `json:"requests,omitempty"`
+	RequestCount uint64         `json:"request_count"`
+
 	// Dense side-table footprint (internal/sidetab): materialized chunk
 	// bytes across the assertion engine's tables (a gauge) and lifetime
 	// epoch rollovers. Zero without assertions or in map-table mode.
@@ -499,6 +567,7 @@ func (r *Recorder) Metrics() Metrics {
 		Assists:           r.assists,
 		AssistSlices:      r.assistSlices,
 		Violations:        r.violations,
+		RequestCount:      r.requests,
 		SideTabChunkBytes: r.sideTabBytes,
 		SideTabRollovers:  r.sideTabRolls,
 		ReportWriteErrors: r.writeErrs,
@@ -510,6 +579,11 @@ func (r *Recorder) Metrics() Metrics {
 	for p := Phase(0); p < numPhases; p++ {
 		if r.hists[p].Count > 0 {
 			m.Phases = append(m.Phases, summarize(p.String(), &r.hists[p]))
+		}
+	}
+	for i := 0; i < r.reqOps; i++ {
+		if r.reqHists[i].Count > 0 {
+			m.Requests = append(m.Requests, summarize(r.reqNames[i], &r.reqHists[i]))
 		}
 	}
 	for code, n := range r.violationKinds {

@@ -231,3 +231,138 @@ func TestEmitDoesNotAllocate(t *testing.T) {
 		t.Errorf("emit path allocates %.2f allocs per cycle, want ~0", avg)
 	}
 }
+
+// TestRequestSpans exercises the serving emit point: interned op codes,
+// per-op histograms, the NDJSON rendering, and the offline Summarize
+// agreement with the live counters.
+func TestRequestSpans(t *testing.T) {
+	var sink bytes.Buffer
+	r := New(Config{Sink: &sink})
+	find := r.RequestOp("find")
+	add := r.RequestOp("add")
+	if find < 0 || add < 0 || find == add {
+		t.Fatalf("RequestOp codes find=%d add=%d", find, add)
+	}
+	if again := r.RequestOp("find"); again != find {
+		t.Errorf("re-registering find returned %d, want %d", again, find)
+	}
+	r.Request(find, 2*time.Millisecond)
+	r.Request(find, 4*time.Millisecond)
+	r.Request(add, time.Millisecond)
+	r.Request(-1, time.Millisecond)  // unregistered: ignored
+	r.Request(200, time.Millisecond) // out of range: ignored
+
+	m := r.Metrics()
+	if m.RequestCount != 3 {
+		t.Errorf("RequestCount = %d, want 3", m.RequestCount)
+	}
+	if len(m.Requests) != 2 || m.Requests[0].Phase != "find" || m.Requests[0].Count != 2 ||
+		m.Requests[1].Phase != "add" || m.Requests[1].Count != 1 {
+		t.Errorf("Requests = %+v", m.Requests)
+	}
+
+	events, err := ReadEvents(bytes.NewReader(sink.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	sum := Summarize(events)
+	if sum.AllRequest.Count != 3 {
+		t.Errorf("offline request count = %d, want 3", sum.AllRequest.Count)
+	}
+	if len(sum.Requests) != 2 || sum.Requests[0].Phase != "find" || sum.Requests[0].Count != 2 {
+		t.Errorf("offline Requests = %+v", sum.Requests)
+	}
+	if sum.Requests[0].P99Nanos != uint64(4*time.Millisecond) {
+		t.Errorf("offline find p99 = %d, want exact 4ms", sum.Requests[0].P99Nanos)
+	}
+	if !strings.Contains(sum.Format(), "request") {
+		t.Error("Format() missing request table")
+	}
+
+	var prom strings.Builder
+	if err := m.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), `gcassert_request_count{op="find"} 2`) {
+		t.Errorf("prometheus output missing request series:\n%s", prom.String())
+	}
+}
+
+// TestRequestOpTableFull pins the overflow contract: registration past
+// MaxRequestOps returns -1 and those requests are silently not recorded.
+func TestRequestOpTableFull(t *testing.T) {
+	r := New(Config{})
+	for i := 0; i < MaxRequestOps; i++ {
+		if code := r.RequestOp(strings.Repeat("x", i+1)); code != i {
+			t.Fatalf("op %d got code %d", i, code)
+		}
+	}
+	if code := r.RequestOp("overflow"); code != -1 {
+		t.Errorf("overflow registration = %d, want -1", code)
+	}
+	r.Request(-1, time.Millisecond)
+	if m := r.Metrics(); m.RequestCount != 0 {
+		t.Errorf("overflow request recorded: %d", m.RequestCount)
+	}
+	var nilRec *Recorder
+	if code := nilRec.RequestOp("x"); code != -1 {
+		t.Errorf("nil RequestOp = %d, want -1", code)
+	}
+	nilRec.Request(0, time.Millisecond)
+}
+
+// TestNDJSONEscapesNames feeds hostile violation and op names through the
+// sink and requires the stream to stay parseable with the names intact.
+func TestNDJSONEscapesNames(t *testing.T) {
+	var sink bytes.Buffer
+	r := New(Config{Sink: &sink})
+	hostile := "bad\"name\\with\nnewline\tand\x01ctrl"
+	r.Violation(7, hostile)
+	op := r.RequestOp(hostile)
+	r.Request(op, time.Millisecond)
+
+	events, err := ReadEvents(bytes.NewReader(sink.Bytes()))
+	if err != nil {
+		t.Fatalf("stream unparseable with hostile names: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("decoded %d events, want 2", len(events))
+	}
+	if events[0].Kind != hostile {
+		t.Errorf("violation name %q round-tripped as %q", hostile, events[0].Kind)
+	}
+	if events[1].Op != hostile {
+		t.Errorf("op name %q round-tripped as %q", hostile, events[1].Op)
+	}
+}
+
+// TestSummarizeSurfacesOpenPhases requires a stream that ends mid-phase to
+// report the dangling begin instead of silently dropping it.
+func TestSummarizeSurfacesOpenPhases(t *testing.T) {
+	stream := `{"seq":1,"ns":10,"ev":"cycle_begin","cycle":1}` + "\n" +
+		`{"seq":2,"ns":20,"ev":"phase_begin","phase":"mark","cycle":1}` + "\n" +
+		`{"seq":3,"ns":30,"ev":"phase_end","phase":"mark","cycle":1,"dur_ns":10}` + "\n" +
+		`{"seq":4,"ns":40,"ev":"phase_begin","phase":"sweep","cycle":1}` + "\n"
+	events, err := ReadEvents(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(events)
+	if sum.OpenPhases["sweep"] != 1 {
+		t.Errorf("OpenPhases = %v, want sweep=1", sum.OpenPhases)
+	}
+	if _, open := sum.OpenPhases["mark"]; open {
+		t.Errorf("balanced phase mark reported open: %v", sum.OpenPhases)
+	}
+	if !strings.Contains(sum.Format(), "open phases") {
+		t.Error("Format() missing open-phases warning")
+	}
+	// A balanced stream reports nothing.
+	balanced := Summarize(events[:3])
+	if len(balanced.OpenPhases) != 0 {
+		t.Errorf("balanced stream OpenPhases = %v", balanced.OpenPhases)
+	}
+	if strings.Contains(balanced.Format(), "open phases") {
+		t.Error("balanced Format() carries open-phases warning")
+	}
+}
