@@ -138,12 +138,9 @@ func validate(o options) error {
 	if o.allocBuf > 0 && o.allocBuf < vmheap.MinBufferWords {
 		return fmt.Errorf("-allocbuf %d: below the minimum buffer of %d words (use 0 for direct allocation)", o.allocBuf, vmheap.MinBufferWords)
 	}
-	if o.assert && o.leakCache && !o.selfdrive {
-		// Deliberately allowed: serving with the defect armed is how the
-		// demo shows gcmon catching it live. Nothing to reject — the pairing
-		// is the point.
-		_ = o
-	}
+	// -assert with -leakcache is deliberately allowed in serve mode:
+	// serving with the defect armed is how the demo shows gcmon catching
+	// it live.
 	if o.selfdrive {
 		if o.events != "" {
 			return fmt.Errorf("-events with -selfdrive: the sweep writes one stream per cell into its own directory; point gcmon at the serving_*.ndjson files it reports")
@@ -341,33 +338,50 @@ func newMux(rt *core.Runtime, srv *minidb.Server) *http.ServeMux {
 
 // loopbackTransport wires a sweep cell's server behind a real HTTP
 // listener on 127.0.0.1 and issues its requests as HTTP GETs, so the
-// measured spans cover the full network path the serve mode exposes.
-func loopbackTransport(srv *minidb.Server) (harness.DoFunc, func(), error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, nil, err
-	}
-	httpSrv := &http.Server{Handler: newMux(srv.Runtime(), srv)}
-	go httpSrv.Serve(ln)
-	base := "http://" + ln.Addr().String()
-	client := &http.Client{}
-	do := func(op minidb.Op, key int64) error {
-		resp, err := client.Get(fmt.Sprintf("%s/%s?key=%d", base, op, key))
+// measured spans cover the full network path the serve mode exposes. The
+// client timeout bounds every request: a wedged cell surfaces as request
+// errors in the report instead of hanging the sweep (and the CI smoke arm)
+// on driveOpenLoop's final wait.
+func loopbackTransport(timeout time.Duration) harness.Transport {
+	return func(srv *minidb.Server) (harness.DoFunc, func(), error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("%s: HTTP %d", op, resp.StatusCode)
+		httpSrv := &http.Server{Handler: newMux(srv.Runtime(), srv)}
+		go httpSrv.Serve(ln)
+		base := "http://" + ln.Addr().String()
+		client := &http.Client{Timeout: timeout}
+		do := func(op minidb.Op, key int64) error {
+			resp, err := client.Get(fmt.Sprintf("%s/%s?key=%d", base, op, key))
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("%s: HTTP %d", op, resp.StatusCode)
+			}
+			return nil
 		}
-		return nil
+		shutdown := func() {
+			httpSrv.Close()
+			client.CloseIdleConnections()
+		}
+		return do, shutdown, nil
 	}
-	shutdown := func() {
-		httpSrv.Close()
-		client.CloseIdleConnections()
+}
+
+// requestTimeout picks the loopback client timeout: comfortably above both
+// the SLO budget and the worst legitimate queueing delay (a request sent at
+// the start of a cell can wait out most of its window under overload), so
+// only a genuinely stuck server trips it.
+func requestTimeout(o options) time.Duration {
+	t := 20 * o.sloP99
+	if t < 2*time.Second {
+		t = 2 * time.Second
 	}
-	return do, shutdown, nil
+	return o.duration + t
 }
 
 // runSelfdrive runs the sweep and gate; returns the process exit code.
@@ -389,7 +403,7 @@ func runSelfdrive(o options) int {
 	}
 	fmt.Fprintf(os.Stderr, "minidbd: sweeping %d collector configs x %d rates, %v per cell over loopback HTTP\n",
 		len(collectors), len(rates), o.duration)
-	report, err := harness.RunServingSweep(cfg, loopbackTransport)
+	report, err := harness.RunServingSweep(cfg, loopbackTransport(requestTimeout(o)))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "minidbd: sweep: %v\n", err)
 		return 1

@@ -196,7 +196,7 @@ func TestSelfdriveSweepOverLoopbackHTTP(t *testing.T) {
 		Duration:    150 * time.Millisecond,
 		MaxInflight: 32,
 		EventDir:    t.TempDir(),
-	}, loopbackTransport)
+	}, loopbackTransport(5*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -235,6 +235,17 @@ func (s *Server) run(w *worker, zone *core.Zone) {
 	}
 }
 
+// withDB runs fn with the database lock held. The unlock is deferred
+// because fn can panic (OutOfMemoryError, HaltError from the allocator) and
+// serve's recover converts that into a request error — without the defer
+// the mutex would stay locked and every later DB op would deadlock the
+// pool.
+func (s *Server) withDB(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn()
+}
+
 // serve executes one request on w, converting runtime panics
 // (OutOfMemoryError, HaltError) into request errors so one doomed request
 // cannot take the pool down.
@@ -247,24 +258,19 @@ func (s *Server) serve(w *worker, req request) (res result) {
 	}()
 	switch req.op {
 	case OpFind:
-		s.mu.Lock()
-		found := s.db.Find(req.key)
-		s.mu.Unlock()
-		res.resp.Found = found
+		s.withDB(func() { res.resp.Found = s.db.Find(req.key) })
 	case OpScan:
-		s.mu.Lock()
-		res.resp.Sum = s.db.Scan()
-		s.mu.Unlock()
+		s.withDB(func() { res.resp.Sum = s.db.Scan() })
 	case OpAdd:
-		s.mu.Lock()
-		s.db.AddOn(w.th)
-		res.resp.Len = s.db.Len()
-		s.mu.Unlock()
+		s.withDB(func() {
+			s.db.AddOn(w.th)
+			res.resp.Len = s.db.Len()
+		})
 	case OpRemove:
-		s.mu.Lock()
-		s.db.RemoveOn(w.th)
-		res.resp.Len = s.db.Len()
-		s.mu.Unlock()
+		s.withDB(func() {
+			s.db.RemoveOn(w.th)
+			res.resp.Len = s.db.Len()
+		})
 	case OpSession:
 		res.err = s.session(w)
 	default:
@@ -309,9 +315,7 @@ func (s *Server) session(w *worker) error {
 		if s.cfg.DB.LeakCache {
 			// The defect: the "expired" session is retained in the shared
 			// cache, so it is not dead at all.
-			s.mu.Lock()
-			kit.ListAdd(th, s.sessCache.Get(), f.Local(1))
-			s.mu.Unlock()
+			s.withDB(func() { kit.ListAdd(th, s.sessCache.Get(), f.Local(1)) })
 			s.leaked.Add(1)
 		}
 		if s.cfg.AssertDeadSessions {

@@ -173,6 +173,36 @@ func TestServerUnderConcurrentPacer(t *testing.T) {
 	}
 }
 
+// TestServerSurvivesOOMUnderLock pins the panic-recovery contract: an
+// allocation panic (*OutOfMemoryError) raised inside a locked database op
+// is recovered by serve with the lock already released, so later requests
+// still complete and Close drains — a doomed request must not wedge the
+// pool on s.mu.
+func TestServerSurvivesOOMUnderLock(t *testing.T) {
+	_, srv := testServer(t,
+		ServerConfig{Workers: 2, DB: Config{Entries: 16}},
+		core.Config{HeapWords: 1 << 12})
+	var oomed bool
+	for i := 0; i < 5000 && !oomed; i++ {
+		if _, err := srv.Do(OpAdd, 0); err != nil {
+			oomed = true
+		}
+	}
+	if !oomed {
+		t.Fatal("no add ever failed: heap too large to exhaust, test proves nothing")
+	}
+	// The heap is full; reads allocate nothing and must still get through
+	// the (released) database lock on both workers.
+	for i := 0; i < 4; i++ {
+		if resp, err := srv.Do(OpFind, 1); err != nil || !resp.Found {
+			t.Fatalf("find after OOM = %+v, %v; want found", resp, err)
+		}
+	}
+	if st := srv.Stats(); st.Failed == 0 {
+		t.Errorf("failed = 0, want the OOM'd requests counted (stats %+v)", st)
+	}
+}
+
 // TestServerClose pins the shutdown contract.
 func TestServerClose(t *testing.T) {
 	rt := core.New(core.Config{HeapWords: 1 << 16, Mode: core.Infrastructure})
